@@ -1,0 +1,337 @@
+package lambmesh
+
+// One benchmark per paper table/figure, measuring the representative unit
+// of work that the corresponding experiment aggregates (one randomized
+// trial at the figure's heaviest data point), plus micro-benchmarks of the
+// algorithmic stages. Full figure regeneration — trial sweeps and series —
+// is `go run ./cmd/lambsim`; these benches track the per-trial costs that
+// determine those running times.
+
+import (
+	"math/rand"
+	"testing"
+
+	"lambmesh/internal/analysis"
+	"lambmesh/internal/bitmat"
+	"lambmesh/internal/blockfault"
+	"lambmesh/internal/core"
+	"lambmesh/internal/hardness"
+	"lambmesh/internal/mesh"
+	"lambmesh/internal/partition"
+	"lambmesh/internal/reach"
+	"lambmesh/internal/routing"
+	"lambmesh/internal/sim"
+	"lambmesh/internal/vcover"
+	"lambmesh/internal/wormhole"
+)
+
+func paperFaults12() *mesh.FaultSet {
+	m := mesh.MustNew(12, 12)
+	f := mesh.NewFaultSet(m)
+	f.AddNodes(mesh.C(9, 1), mesh.C(11, 6), mesh.C(10, 10))
+	return f
+}
+
+// BenchmarkTable1Reachability: building R (and R^(2)) for the Section 5
+// example — Tables 1 and 2.
+func BenchmarkTable1Reachability(b *testing.B) {
+	f := paperFaults12()
+	orders := routing.UniformAscending(2, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := reach.Compute(f, orders); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSec5LambSet: the full Lamb1 pipeline on the worked example.
+func BenchmarkSec5LambSet(b *testing.B) {
+	f := paperFaults12()
+	orders := routing.UniformAscending(2, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Lamb1(f, orders); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchLambTrial measures one randomized trial at a figure's data point.
+func benchLambTrial(b *testing.B, widths []int, faults, k int) {
+	b.Helper()
+	m := mesh.MustNew(widths...)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.RunLambTrial(m, faults, k, rng)
+	}
+}
+
+// Figure 17: M_2(32) at 3% faults.
+func BenchmarkFig17Trial(b *testing.B) { benchLambTrial(b, []int{32, 32}, 31, 2) }
+
+// Figure 18 (and the Figure 26 timing curve for the same mesh): M_3(32) at
+// 3% faults — the headline configuration.
+func BenchmarkFig18Trial(b *testing.B) { benchLambTrial(b, []int{32, 32, 32}, 983, 2) }
+
+// Figure 19 compares the additional damage of the two meshes above; its
+// unit costs are BenchmarkFig17Trial and BenchmarkFig18Trial.
+func BenchmarkFig19Trial2D(b *testing.B) { benchLambTrial(b, []int{32, 32}, 31, 2) }
+
+// Figure 20 (and Figure 26's 2D curve): M_2(181) at 3% faults.
+func BenchmarkFig20Trial(b *testing.B) { benchLambTrial(b, []int{181, 181}, 983, 2) }
+
+// Figure 21's largest mesh at the largest fault ratio: M_2(128), 3x
+// bisection width.
+func BenchmarkFig21Trial(b *testing.B) { benchLambTrial(b, []int{128, 128}, 384, 2) }
+
+// Figure 22's largest mesh at the largest ratio: M_3(25), 3x bisection.
+func BenchmarkFig22Trial(b *testing.B) { benchLambTrial(b, []int{25, 25, 25}, 1875, 2) }
+
+// Figure 23's largest point: M_2(181), 3% faults.
+func BenchmarkFig23Trial(b *testing.B) { benchLambTrial(b, []int{181, 181}, 983, 2) }
+
+// Figure 24's largest point: M_3(32), 3% faults.
+func BenchmarkFig24Trial(b *testing.B) { benchLambTrial(b, []int{32, 32, 32}, 983, 2) }
+
+// Figure 25 counts SESs: the partition stage alone at the 3% point.
+func BenchmarkFig25Partition(b *testing.B) {
+	m := mesh.MustNew(32, 32, 32)
+	rng := rand.New(rand.NewSource(1))
+	f := mesh.RandomNodeFaults(m, 983, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := partition.SES(f, routing.Ascending(3)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Figure 26 is the running-time figure itself; its 3D unit is
+// BenchmarkFig18Trial and its 2D unit BenchmarkFig20Trial. This bench
+// covers the smallest 3D point so the growth in f is visible in one run.
+func BenchmarkFig26TrialSmallF(b *testing.B) { benchLambTrial(b, []int{32, 32, 32}, 164, 2) }
+
+// Section 3, one round: the empirical lower bound plus a one-round Lamb1
+// at n = f = 32.
+func BenchmarkSec3OneTrial(b *testing.B) {
+	m := mesh.MustNew(32, 32, 32)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := mesh.RandomNodeFaults(m, 32, rng)
+		analysis.OneRoundEmpiricalLowerBound(f)
+		if _, err := core.Lamb1(f, routing.UniformAscending(3, 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Section 3, two rounds: one trial of the 10000-trial rare-lamb check.
+func BenchmarkSec3TwoTrial(b *testing.B) { benchLambTrial(b, []int{32, 32, 32}, 32, 2) }
+
+// Figure 15: the adversarial family at m = 8 (a 33x33 mesh, 66 faults).
+func BenchmarkFig15(b *testing.B) {
+	fig, err := analysis.NewFigure15(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	orders := routing.UniformAscending(2, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Lamb1(fig.Faults, orders); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Proposition 6.5: partitioning the adversarial fault set at d=3.
+func BenchmarkProp65Partition(b *testing.B) {
+	fs, err := analysis.Prop65FaultSet(3, 9, 40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := partition.SES(fs, routing.Ascending(3)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Section 9: building the reduction and solving it with Lamb1.
+func BenchmarkHardnessReduction(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, err := hardness.Build([][]int{{1}, {0}}, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.Lamb1(c.Faults, routing.UniformAscending(3, 2)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation benches: rounds and solver choice on a fixed instance.
+func BenchmarkAblRoundsK1(b *testing.B) { benchLambTrial(b, []int{16, 16, 16}, 123, 1) }
+func BenchmarkAblRoundsK2(b *testing.B) { benchLambTrial(b, []int{16, 16, 16}, 123, 2) }
+func BenchmarkAblRoundsK3(b *testing.B) { benchLambTrial(b, []int{16, 16, 16}, 123, 3) }
+
+func BenchmarkAblVcoverLamb2Exact(b *testing.B) {
+	m := mesh.MustNew(12, 12)
+	f := mesh.RandomNodeFaults(m, 8, rand.New(rand.NewSource(2)))
+	orders := routing.UniformAscending(2, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Lamb2(f, orders, core.ExactWVC); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Baseline: rectangularization plus 30 ring routes on M_2(32), 3% faults.
+func BenchmarkBlockfaultBaseline(b *testing.B) {
+	m := mesh.MustNew(32, 32)
+	rng := rand.New(rand.NewSource(3))
+	f := mesh.RandomNodeFaults(m, 31, rng)
+	mod, err := blockfault.Build(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var active []mesh.Coord
+	m.ForEachNode(func(c mesh.Coord) {
+		if !mod.Blocked(c) {
+			active = append(active, c.Clone())
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for pair := 0; pair < 30; pair++ {
+			src := active[rng.Intn(len(active))]
+			dst := active[rng.Intn(len(active))]
+			_, _ = mod.RouteXY(src, dst)
+		}
+	}
+}
+
+// Wormhole: 120 messages of survivor traffic on a faulty 16x16 mesh with
+// the 2-VC discipline, cycle-accurate to delivery.
+func BenchmarkWormholeTraffic(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	m := mesh.MustNew(16, 16)
+	f := mesh.RandomNodeFaults(m, 8, rng)
+	orders := routing.UniformAscending(2, 2)
+	res, err := core.Lamb1(f, orders)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := routing.NewOracle(f)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		msgs, err := wormhole.GenerateTraffic(o, orders, res.Lambs, wormhole.TrafficSpec{
+			Messages: 120, MinFlits: 4, MaxFlits: 16, InjectWindow: 60,
+		}, 2, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := wormhole.NewNetwork(f, wormhole.DefaultConfig(), msgs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := n.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if n.Deadlocked {
+			b.Fatal("unexpected deadlock")
+		}
+	}
+}
+
+// Micro-benchmarks of the algorithmic stages.
+
+func BenchmarkOracleReachOne(b *testing.B) {
+	m := mesh.MustNew(32, 32, 32)
+	rng := rand.New(rand.NewSource(5))
+	f := mesh.RandomNodeFaults(m, 983, rng)
+	o := routing.NewOracle(f)
+	pi := routing.Ascending(3)
+	v := mesh.C(0, 0, 0)
+	w := mesh.C(31, 31, 31)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.ReachOne(pi, v, w)
+	}
+}
+
+func BenchmarkBitmatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	a := bitmat.New(1500, 1500)
+	c := bitmat.New(1500, 1500)
+	for i := 0; i < 1500; i++ {
+		for j := 0; j < 1500; j++ {
+			if rng.Float64() < 0.2 {
+				a.Set(i, j)
+			}
+			if rng.Float64() < 0.2 {
+				c.Set(i, j)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Mul(c)
+	}
+}
+
+func BenchmarkBipartiteWVC(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	g := &vcover.Bipartite{
+		LeftWeight:  make([]int64, 200),
+		RightWeight: make([]int64, 200),
+		Edges:       make([][]int, 200),
+	}
+	for i := range g.LeftWeight {
+		g.LeftWeight[i] = int64(1 + rng.Intn(50))
+		g.RightWeight[i] = int64(1 + rng.Intn(50))
+		for j := 0; j < 200; j++ {
+			if rng.Float64() < 0.05 {
+				g.Edges[i] = append(g.Edges[i], j)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vcover.SolveBipartite(g)
+	}
+}
+
+func BenchmarkVerifyLambSet(b *testing.B) {
+	m := mesh.MustNew(32, 32, 32)
+	rng := rand.New(rand.NewSource(8))
+	f := mesh.RandomNodeFaults(m, 983, rng)
+	orders := routing.UniformAscending(3, 2)
+	res, err := core.Lamb1(f, orders)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := core.VerifyLambSet(f, orders, res.Lambs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Command lambfind computes a lamb set for a given mesh and fault set.
+//
+// Usage:
+//
+//	lambfind -mesh 32x32x32 [-torus] -k 2 [-algo lamb1|lamb2|exact|generic]
+//	         [-faults "(9,1);(11,6);(10,10)" | -fault-file faults.txt | -random 983 -seed 1]
+//	         [-verify] [-v]
+//
+// The fault file lists one node coordinate per line ("x,y,z"); lines
+// starting with '#' are ignored. Output is the lamb set, one coordinate per
+// line, preceded by a summary on stderr.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"lambmesh/internal/core"
+	"lambmesh/internal/mesh"
+	"lambmesh/internal/routing"
+	"lambmesh/internal/viz"
+)
+
+func main() {
+	var (
+		meshFlag  = flag.String("mesh", "32x32x32", "mesh widths, e.g. 32x32 or 32x32x32")
+		torus     = flag.Bool("torus", false, "use a torus (wrap-around links; generic algorithm)")
+		k         = flag.Int("k", 2, "number of routing rounds (virtual channels)")
+		algo      = flag.String("algo", "lamb1", "algorithm: lamb1 | lamb2 | exact | generic")
+		faultsStr = flag.String("faults", "", "semicolon-separated fault coordinates, e.g. \"(9,1);(11,6)\"")
+		faultFile = flag.String("fault-file", "", "file with one fault coordinate per line")
+		random    = flag.Int("random", 0, "number of random node faults to draw instead")
+		seed      = flag.Int64("seed", 1, "seed for -random")
+		verify    = flag.Bool("verify", false, "re-verify the lamb set through the SES/DES algebra")
+		verbose   = flag.Bool("v", false, "print partition statistics")
+		load      = flag.String("load", "", "load mesh+faults from a file in the lambmesh fault format (overrides -mesh)")
+		save      = flag.String("save", "", "save the mesh+faults to a file in the lambmesh fault format")
+		draw      = flag.Bool("draw", false, "draw the mesh with faults (X) and lambs (L); 2D meshes only")
+	)
+	flag.Parse()
+
+	var f *mesh.FaultSet
+	if *load != "" {
+		fh, err := os.Open(*load)
+		if err != nil {
+			fatal(err)
+		}
+		f, err = mesh.ReadFaults(fh)
+		fh.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		m, err := parseMesh(*meshFlag, *torus)
+		if err != nil {
+			fatal(err)
+		}
+		f = mesh.NewFaultSet(m)
+	}
+	m := f.Mesh()
+	if err := loadFaults(f, *faultsStr, *faultFile); err != nil {
+		fatal(err)
+	}
+	if *random > 0 {
+		rf := mesh.RandomNodeFaults(m, *random, rand.New(rand.NewSource(*seed)))
+		for _, c := range rf.NodeFaults() {
+			f.AddNode(c)
+		}
+	}
+	if f.Count() == 0 {
+		fmt.Fprintln(os.Stderr, "lambfind: no faults given; every good node already reaches every other")
+	}
+
+	if *save != "" {
+		fh, err := os.Create(*save)
+		if err != nil {
+			fatal(err)
+		}
+		if err := mesh.WriteFaults(fh, f); err != nil {
+			fatal(err)
+		}
+		if err := fh.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	orders := routing.UniformAscending(m.Dims(), *k)
+	var res *core.Result
+	var err error
+	switch {
+	case m.Torus() || *algo == "generic":
+		res, err = core.TorusLamb(f, orders)
+	case *algo == "lamb1":
+		res, err = core.Lamb1(f, orders)
+	case *algo == "lamb2":
+		res, err = core.Lamb2(f, orders, core.ApproxWVC)
+	case *algo == "exact":
+		res, err = core.ExactLamb(f, orders)
+	default:
+		err = fmt.Errorf("unknown -algo %q", *algo)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "mesh %v, %d node faults, %d link faults, k=%d (%v)\n",
+		m, f.NumNodeFaults(), f.NumLinkFaults(), *k, orders)
+	fmt.Fprintf(os.Stderr, "lambs: %d (%.4f%% of nodes, %.1f%% of faults), survivors: %d\n",
+		res.NumLambs(),
+		100*float64(res.NumLambs())/float64(m.Nodes()),
+		pct(res.NumLambs(), f.Count()),
+		res.Survivors(f))
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "SESs %d, DESs %d, relevant %d/%d, cover weight %d, proven lower bound %d\n",
+			res.Stats.NumSES, res.Stats.NumDES,
+			res.Stats.RelevantSES, res.Stats.RelevantDES,
+			res.Stats.CoverWeight, res.LowerBound())
+	}
+	if *verify && !m.Torus() && *algo != "generic" {
+		if err := core.VerifyLambSet(f, orders, res.Lambs); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "verification: OK")
+	}
+	if *draw {
+		pic, err := viz.Render(f, res.Lambs, viz.Marks{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lambfind: -draw:", err)
+		} else {
+			fmt.Fprint(os.Stderr, pic)
+		}
+	}
+	for _, c := range res.Lambs {
+		fmt.Println(strings.Trim(c.String(), "()"))
+	}
+}
+
+func parseMesh(s string, torus bool) (*mesh.Mesh, error) {
+	parts := strings.Split(s, "x")
+	widths := make([]int, len(parts))
+	for i, p := range parts {
+		w, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad mesh spec %q: %v", s, err)
+		}
+		widths[i] = w
+	}
+	if torus {
+		return mesh.NewTorus(widths...)
+	}
+	return mesh.New(widths...)
+}
+
+func loadFaults(f *mesh.FaultSet, inline, file string) error {
+	add := func(spec string) error {
+		spec = strings.TrimSpace(spec)
+		if spec == "" || strings.HasPrefix(spec, "#") {
+			return nil
+		}
+		c, err := mesh.ParseCoord(spec)
+		if err != nil {
+			return err
+		}
+		if !f.Mesh().Contains(c) {
+			return fmt.Errorf("fault %v outside mesh %v", c, f.Mesh())
+		}
+		f.AddNode(c)
+		return nil
+	}
+	for _, spec := range strings.Split(inline, ";") {
+		if err := add(spec); err != nil {
+			return err
+		}
+	}
+	if file != "" {
+		fh, err := os.Open(file)
+		if err != nil {
+			return err
+		}
+		defer fh.Close()
+		sc := bufio.NewScanner(fh)
+		for sc.Scan() {
+			if err := add(sc.Text()); err != nil {
+				return err
+			}
+		}
+		return sc.Err()
+	}
+	return nil
+}
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lambfind:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lambmesh/internal/mesh"
+)
+
+func TestParseMesh(t *testing.T) {
+	m, err := parseMesh("12x8", false)
+	if err != nil || m.Dims() != 2 || m.Width(0) != 12 || m.Width(1) != 8 {
+		t.Fatalf("parseMesh: %v %v", m, err)
+	}
+	tor, err := parseMesh("5x5", true)
+	if err != nil || !tor.Torus() {
+		t.Fatalf("torus parse: %v %v", tor, err)
+	}
+	for _, bad := range []string{"", "ax3", "3x", "1x5"} {
+		if _, err := parseMesh(bad, false); err == nil {
+			t.Errorf("parseMesh(%q) should fail", bad)
+		}
+	}
+}
+
+func TestLoadFaultsInline(t *testing.T) {
+	m := mesh.MustNew(12, 12)
+	f := mesh.NewFaultSet(m)
+	if err := loadFaults(f, "(9,1);(11,6); # comment", ""); err != nil {
+		t.Fatal(err)
+	}
+	if f.NumNodeFaults() != 2 {
+		t.Errorf("loaded %d faults", f.NumNodeFaults())
+	}
+	if err := loadFaults(f, "(99,0)", ""); err == nil {
+		t.Error("out-of-mesh fault should fail")
+	}
+	if err := loadFaults(f, "nope", ""); err == nil {
+		t.Error("junk should fail")
+	}
+}
+
+func TestLoadFaultsFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "faults.txt")
+	if err := os.WriteFile(path, []byte("# header\n3,4\n\n(5,6)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := mesh.MustNew(12, 12)
+	f := mesh.NewFaultSet(m)
+	if err := loadFaults(f, "", path); err != nil {
+		t.Fatal(err)
+	}
+	if f.NumNodeFaults() != 2 || !f.NodeFaulty(mesh.C(3, 4)) || !f.NodeFaulty(mesh.C(5, 6)) {
+		t.Errorf("file faults wrong: %v", f.SortedNodeFaults())
+	}
+	if err := loadFaults(f, "", filepath.Join(dir, "missing.txt")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if pct(1, 0) != 0 {
+		t.Error("pct with zero denominator")
+	}
+	if pct(1, 2) != 50 {
+		t.Error("pct wrong")
+	}
+}

@@ -1,0 +1,77 @@
+// Command lambsim regenerates the tables and figures of Ho & Stockmeyer
+// (IPDPS 2002). Run it with no flags to execute every experiment at the
+// default trial count, or select experiments with -exp.
+//
+// Usage:
+//
+//	lambsim [-exp id1,id2|all] [-trials n] [-seed s] [-list]
+//
+// The paper uses 1000 trials per data point (10000 for the Section 3
+// rare-lamb check); -trials 1000 reproduces that scale. Heavier experiments
+// automatically divide the trial count (shown in each table header).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lambmesh/internal/sim"
+)
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		trials  = flag.Int("trials", 100, "baseline trials per data point (paper: 1000)")
+		seed    = flag.Int64("seed", 1, "base RNG seed; trial t uses seed+t")
+		workers = flag.Int("workers", 0, "trial parallelism (0 = NumCPU)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		format  = flag.String("format", "text", "output format: text | md | csv")
+	)
+	flag.Parse()
+	render := func(t *sim.Table) string { return t.Render() }
+	switch *format {
+	case "text":
+	case "md":
+		render = func(t *sim.Table) string { return t.Markdown() }
+	case "csv":
+		render = func(t *sim.Table) string { return t.CSV() }
+	default:
+		fmt.Fprintf(os.Stderr, "lambsim: unknown -format %q\n", *format)
+		os.Exit(2)
+	}
+
+	if *list {
+		for _, e := range sim.Registry() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := sim.Config{Trials: *trials, Seed: *seed, Workers: *workers}
+	var selected []sim.Experiment
+	if *expFlag == "all" {
+		selected = sim.Registry()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := sim.Lookup(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "lambsim: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		tab := e.Run(cfg)
+		fmt.Println(render(tab))
+		if *format == "text" {
+			fmt.Printf("(%s finished in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		}
+	}
+}

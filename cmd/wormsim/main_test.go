@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestParseWidths(t *testing.T) {
+	got, err := parseWidths("16x16")
+	if err != nil || len(got) != 2 || got[0] != 16 || got[1] != 16 {
+		t.Fatalf("parseWidths: %v %v", got, err)
+	}
+	got, err = parseWidths("8x4x2")
+	if err != nil || len(got) != 3 || got[2] != 2 {
+		t.Fatalf("parseWidths 3D: %v %v", got, err)
+	}
+	for _, bad := range []string{"", "x", "8x", "x8", "8y8", "a"} {
+		if _, err := parseWidths(bad); err == nil {
+			t.Errorf("parseWidths(%q) should fail", bad)
+		}
+	}
+}

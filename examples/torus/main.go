@@ -1,0 +1,122 @@
+// Torus demonstrates the Section 7 extensions: the lamb method on a torus
+// (wrap-around links), on a binary hypercube, with per-node values, and
+// with predetermined lambs.
+//
+//	go run ./examples/torus
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"lambmesh"
+)
+
+func main() {
+	torusDemo()
+	hypercubeDemo()
+	valuesDemo()
+	predeterminedDemo()
+}
+
+// torusDemo: the same fault pattern that forces a lamb on a mesh needs none
+// on a torus, because wrap-around links give the cut-off corner a way out.
+func torusDemo() {
+	fmt.Println("== torus vs mesh ==")
+	faultsFor := func(m *lambmesh.Mesh) *lambmesh.FaultSet {
+		f := lambmesh.NewFaultSet(m)
+		f.AddNodes(lambmesh.C(1, 0), lambmesh.C(0, 1), lambmesh.C(1, 1))
+		return f
+	}
+	mm, err := lambmesh.NewMesh(6, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	meshRes, err := lambmesh.FindLambSet(faultsFor(mm), lambmesh.TwoRoundXY())
+	if err != nil {
+		log.Fatal(err)
+	}
+	tm, err := lambmesh.NewTorus(6, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	torusRes, err := lambmesh.FindLambSetTorus(faultsFor(tm), lambmesh.TwoRoundXY())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mesh  M_2(6):  corner (0,0) cut off -> lambs %v\n", meshRes.Lambs)
+	fmt.Printf("torus T_2(6):  wrap links rescue it -> lambs %v\n\n", torusRes.Lambs)
+}
+
+// hypercubeDemo: a hypercube is the mesh M_d(2), so the fast rectangular
+// algorithm applies directly.
+func hypercubeDemo() {
+	fmt.Println("== hypercube Q_5 ==")
+	m, err := lambmesh.NewCube(5, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f := lambmesh.RandomNodeFaults(m, 3, rand.New(rand.NewSource(7)))
+	orders := lambmesh.UniformAscending(5, 2)
+	res, err := lambmesh.FindLambSet(f, orders)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := lambmesh.VerifyLambSet(f, orders, res.Lambs); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Q_5 with faults %v -> lambs %v (verified)\n\n", f.SortedNodeFaults(), res.Lambs)
+}
+
+// valuesDemo: nodes carry utilities; the solver sacrifices cheap nodes.
+func valuesDemo() {
+	fmt.Println("== per-node values ==")
+	m, err := lambmesh.NewMesh(12, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f := lambmesh.NewFaultSet(m)
+	f.AddNodes(lambmesh.C(9, 1), lambmesh.C(11, 6), lambmesh.C(10, 10))
+	// Default choice would sacrifice (11,10) and (10,11); make them
+	// precious (say, all 100 processors good) and the alternative sets
+	// nearly worthless.
+	values := map[int64]int64{
+		m.Index(lambmesh.C(11, 10)): 100,
+		m.Index(lambmesh.C(10, 11)): 100,
+		m.Index(lambmesh.C(10, 1)):  0,
+		m.Index(lambmesh.C(11, 1)):  0,
+		m.Index(lambmesh.C(9, 0)):   0,
+	}
+	res, err := lambmesh.FindLambSet(f, lambmesh.TwoRoundXY(), lambmesh.WithValues(values))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with values, the lamb set shifts to %v\n\n", res.Lambs)
+}
+
+// predeterminedDemo: reconfiguration after new faults can keep the old
+// lambs in place.
+func predeterminedDemo() {
+	fmt.Println("== predetermined lambs across reconfiguration ==")
+	m, err := lambmesh.NewMesh(12, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f := lambmesh.NewFaultSet(m)
+	f.AddNodes(lambmesh.C(9, 1), lambmesh.C(11, 6), lambmesh.C(10, 10))
+	first, err := lambmesh.FindLambSet(f, lambmesh.TwoRoundXY())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A new fault arrives; recompute, keeping the previous lambs lambs.
+	f2 := f.Clone()
+	f2.AddNode(lambmesh.C(4, 4))
+	second, err := lambmesh.FindLambSet(f2, lambmesh.TwoRoundXY(),
+		lambmesh.WithPredetermined(first.Lambs))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("first lamb set:  %v\n", first.Lambs)
+	fmt.Printf("after new fault: %v (superset, as Section 7 suggests)\n", second.Lambs)
+}

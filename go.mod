@@ -1,0 +1,3 @@
+module lambmesh
+
+go 1.22

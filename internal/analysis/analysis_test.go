@@ -1,0 +1,268 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lambmesh/internal/core"
+	"lambmesh/internal/mesh"
+	"lambmesh/internal/partition"
+	"lambmesh/internal/routing"
+)
+
+// The paper computes the Theorem 3.1 bound for n = f = 32 as 2698.
+func TestOneRoundLowerBoundPaperValue(t *testing.T) {
+	got := OneRoundLowerBound(32, 32)
+	if math.Floor(got) != 2698 {
+		t.Errorf("OneRoundLowerBound(32,32) = %v, want floor 2698", got)
+	}
+	// Monotone growth in f while (n-f)^2/4 > 1, i.e. f <= n-2.
+	prev := OneRoundLowerBound(32, 1)
+	for f := 2; f <= 30; f++ {
+		cur := OneRoundLowerBound(32, f)
+		if cur < prev {
+			t.Errorf("bound decreased at f=%d", f)
+		}
+		prev = cur
+	}
+	// Section 3: as f goes 1 -> n the bound goes ~n^2/4 -> ~n^3/12.
+	if low := OneRoundLowerBound(32, 1); math.Abs(low-(32*32/4.0-32*1/4.0+1/12.0-1)) > 1e-9 {
+		t.Errorf("f=1 bound = %v", low)
+	}
+}
+
+func TestPartitionBound(t *testing.T) {
+	// d=1: B = f+1.
+	if got := PartitionBound([]int{10}, 3); got != 4 {
+		t.Errorf("1D bound = %d, want 4", got)
+	}
+	// Small f: B = (2d-1)f+1.
+	if got := PartitionBound([]int{9, 9}, 2); got != 7 {
+		t.Errorf("2D bound = %d, want 7", got)
+	}
+	// M_3(32), f = 983 (3% of 32768): terms min(1966, 32*31)=992,
+	// min(1966,31)=31, so B = 992 + 31 + 984 = 2007.
+	if got := PartitionBound([]int{32, 32, 32}, 983); got != 2007 {
+		t.Errorf("M_3(32) f=983 bound = %d, want 2007", got)
+	}
+	// The simple bound dominates.
+	for _, f := range []int{0, 1, 5, 100, 983} {
+		if PartitionBound([]int{32, 32, 32}, f) > SimplePartitionBound(3, f) {
+			t.Errorf("B(3,%d) exceeds (2d-1)f+1", f)
+		}
+	}
+}
+
+// The algorithm's partition size never exceeds B(d,f) on random inputs, and
+// Proposition 6.5's fault sets meet B(d,f) exactly.
+func TestProp65Tightness(t *testing.T) {
+	cases := []struct{ d, n, f int }{
+		{1, 9, 3},
+		{2, 5, 2}, {2, 5, 6}, {2, 9, 4}, {2, 9, 20},
+		{3, 3, 1}, {3, 3, 4}, {3, 3, 9}, {3, 5, 12}, {3, 5, 40},
+	}
+	for _, c := range cases {
+		fs, err := Prop65FaultSet(c.d, c.n, c.f)
+		if err != nil {
+			t.Fatalf("d=%d n=%d f=%d: %v", c.d, c.n, c.f, err)
+		}
+		if fs.NumNodeFaults() != c.f {
+			t.Fatalf("d=%d n=%d f=%d: placed %d faults", c.d, c.n, c.f, fs.NumNodeFaults())
+		}
+		p, err := partition.SES(fs, routing.Ascending(c.d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := PartitionBound(fs.Mesh().Widths(), c.f)
+		if int64(p.Len()) != want {
+			t.Errorf("d=%d n=%d f=%d: partition size %d, want B = %d", c.d, c.n, c.f, p.Len(), want)
+		}
+		if err := partition.Validate(p, routing.NewOracle(fs)); err != nil {
+			t.Errorf("d=%d n=%d f=%d: %v", c.d, c.n, c.f, err)
+		}
+	}
+}
+
+func TestProp65Validation(t *testing.T) {
+	if _, err := Prop65FaultSet(2, 4, 1); err == nil {
+		t.Error("even n should fail")
+	}
+	if _, err := Prop65FaultSet(2, 5, 11); err == nil {
+		t.Error("f beyond n(n-1)/2 should fail")
+	}
+}
+
+func TestRandomPartitionRespectsBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		m := mesh.MustNew(7, 7, 7)
+		nf := 1 + rng.Intn(30)
+		fs := mesh.RandomNodeFaults(m, nf, rng)
+		p, err := partition.SES(fs, routing.Ascending(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(p.Len()) > PartitionBound(m.Widths(), nf) {
+			t.Errorf("trial %d: %d sets > B = %d", trial, p.Len(), PartitionBound(m.Widths(), nf))
+		}
+	}
+}
+
+func TestDiagonalFaults(t *testing.T) {
+	fs, err := DiagonalFaults(3, 9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []partition.Kind{partition.Source, partition.Destination} {
+		var p *partition.Partition
+		if kind == partition.Source {
+			p, err = partition.SES(fs, routing.Ascending(3))
+		} else {
+			p, err = partition.DES(fs, routing.Ascending(3))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := (2*3-1)*4 + 1; p.Len() != want {
+			t.Errorf("%v: %d sets, want %d", kind, p.Len(), want)
+		}
+	}
+	if _, err := DiagonalFaults(2, 5, 3); err == nil {
+		t.Error("f > (n-1)/2 should fail")
+	}
+}
+
+// The Figure 15 family behaves exactly as Section 6.3.1 predicts for
+// several m: Lamb1 returns (4m-1)n lambs, the optimum is 2mn.
+func TestFigure15Family(t *testing.T) {
+	for m := 1; m <= 3; m++ {
+		fig, err := NewFigure15(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orders := routing.UniformAscending(2, 2)
+		res, err := core.Lamb1(fig.Faults, orders)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(res.NumLambs()) != fig.Lamb1Lambs {
+			t.Errorf("m=%d: Lamb1 = %d, want %d", m, res.NumLambs(), fig.Lamb1Lambs)
+		}
+		if err := core.VerifyLambSet(fig.Faults, orders, res.Lambs); err != nil {
+			t.Errorf("m=%d: %v", m, err)
+		}
+		// Ratio approaches 2 from below: 2 - 1/(2m).
+		ratio := float64(fig.Lamb1Lambs) / float64(fig.OptimalLambs)
+		want := 2 - 1/(2*float64(m))
+		if math.Abs(ratio-want) > 1e-9 {
+			t.Errorf("m=%d: ratio %v, want %v", m, ratio, want)
+		}
+	}
+	if _, err := NewFigure15(0); err == nil {
+		t.Error("m=0 should fail")
+	}
+}
+
+// The exact solver confirms the Figure 15 optimum for m=1 (checked in core
+// tests); here check the optimum claim structurally: sacrificing the two
+// outer components is a valid lamb set of size 2mn.
+func TestFigure15OptimalSetIsValid(t *testing.T) {
+	fig, err := NewFigure15(2) // n=9
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lambs []mesh.Coord
+	n, m := fig.N, fig.M
+	for x := 0; x < n; x++ {
+		for y := 0; y < m; y++ {
+			lambs = append(lambs, mesh.C(x, y))
+		}
+		for y := n - m; y < n; y++ {
+			lambs = append(lambs, mesh.C(x, y))
+		}
+	}
+	if int64(len(lambs)) != fig.OptimalLambs {
+		t.Fatalf("constructed %d lambs, want %d", len(lambs), fig.OptimalLambs)
+	}
+	if err := core.VerifyLambSet(fig.Faults, routing.UniformAscending(2, 2), lambs); err != nil {
+		t.Error(err)
+	}
+}
+
+// The empirical per-instance bound must always hold against the true
+// one-round optimum on small instances, and should exceed the analytic
+// expectation on average for larger ones.
+func TestOneRoundEmpiricalLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	orders := routing.UniformAscending(3, 1)
+	for trial := 0; trial < 6; trial++ {
+		m := mesh.MustNew(4, 4, 4)
+		fs := mesh.RandomNodeFaults(m, 2, rng)
+		lb := OneRoundEmpiricalLowerBound(fs)
+		res, err := core.ExactLamb(fs, orders)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lb > int64(res.NumLambs()) {
+			t.Errorf("trial %d: empirical bound %d exceeds optimum %d (faults %v)",
+				trial, lb, res.NumLambs(), fs.SortedNodeFaults())
+		}
+	}
+}
+
+// Sanity on the paper's n = f = 32 scenario: the empirical bound averaged
+// over a few trials should comfortably exceed the analytic 2698 (the paper
+// observed ~5750).
+func TestOneRoundBoundsScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := mesh.MustNew(32, 32, 32)
+	var sum int64
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		fs := mesh.RandomNodeFaults(m, 32, rng)
+		sum += OneRoundEmpiricalLowerBound(fs)
+	}
+	avg := float64(sum) / trials
+	if avg < OneRoundLowerBound(32, 32) {
+		t.Errorf("empirical average %v below analytic bound %v", avg, OneRoundLowerBound(32, 32))
+	}
+	if avg < 4500 || avg > 7500 {
+		t.Errorf("empirical average %v far from the paper's ~5750", avg)
+	}
+}
+
+// The link-fault variant of Proposition 6.5 also meets B(d,f) exactly.
+func TestProp65LinkVariant(t *testing.T) {
+	cases := []struct{ d, n, f int }{
+		{1, 9, 3},
+		{2, 5, 2}, {2, 9, 4}, {2, 9, 20},
+		{3, 3, 4}, {3, 5, 12},
+	}
+	for _, c := range cases {
+		fs, err := Prop65LinkFaultSet(c.d, c.n, c.f)
+		if err != nil {
+			t.Fatalf("d=%d n=%d f=%d: %v", c.d, c.n, c.f, err)
+		}
+		if fs.NumLinkFaults() != c.f || fs.NumNodeFaults() != 0 {
+			t.Fatalf("d=%d n=%d f=%d: %d link, %d node faults", c.d, c.n, c.f, fs.NumLinkFaults(), fs.NumNodeFaults())
+		}
+		p, err := partition.SES(fs, routing.Ascending(c.d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := PartitionBound(fs.Mesh().Widths(), c.f)
+		if int64(p.Len()) != want {
+			t.Errorf("d=%d n=%d f=%d: link-variant partition size %d, want B = %d", c.d, c.n, c.f, p.Len(), want)
+		}
+		if err := partition.Validate(p, routing.NewOracle(fs)); err != nil {
+			t.Errorf("d=%d n=%d f=%d: %v", c.d, c.n, c.f, err)
+		}
+	}
+	if _, err := Prop65LinkFaultSet(2, 4, 1); err == nil {
+		t.Error("even n should fail")
+	}
+	if _, err := Prop65LinkFaultSet(1, 5, 3); err == nil {
+		t.Error("f beyond the cap should fail")
+	}
+}

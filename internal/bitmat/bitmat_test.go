@@ -1,0 +1,224 @@
+package bitmat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveMul is the O(n^3) reference product.
+func naiveMul(a, b *Matrix) *Matrix {
+	out := New(a.Rows(), b.Cols())
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < b.Cols(); j++ {
+			for k := 0; k < a.Cols(); k++ {
+				if a.Get(i, k) && b.Get(k, j) {
+					out.Set(i, j)
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+func randomMatrix(rows, cols int, density float64, rng *rand.Rand) *Matrix {
+	m := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				m.Set(i, j)
+			}
+		}
+	}
+	return m
+}
+
+func TestSetGetClear(t *testing.T) {
+	m := New(3, 130) // spans multiple words
+	if m.Get(2, 129) {
+		t.Error("fresh matrix should be zero")
+	}
+	m.Set(2, 129)
+	m.Set(0, 0)
+	m.Set(1, 63)
+	m.Set(1, 64)
+	if !m.Get(2, 129) || !m.Get(0, 0) || !m.Get(1, 63) || !m.Get(1, 64) {
+		t.Error("Set/Get failed")
+	}
+	if m.Ones() != 4 {
+		t.Errorf("Ones = %d", m.Ones())
+	}
+	m.Clear(1, 63)
+	if m.Get(1, 63) || m.Ones() != 3 {
+		t.Error("Clear failed")
+	}
+}
+
+func TestBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range access should panic")
+		}
+	}()
+	New(2, 2).Get(2, 0)
+}
+
+func TestMulMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		p := 1 + rng.Intn(70)
+		q := 1 + rng.Intn(70)
+		r := 1 + rng.Intn(70)
+		a := randomMatrix(p, q, rng.Float64(), rng)
+		b := randomMatrix(q, r, rng.Float64(), rng)
+		got := a.Mul(b)
+		want := naiveMul(a, b)
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: product mismatch (%dx%d * %dx%d)", trial, p, q, q, r)
+		}
+	}
+}
+
+func TestMulAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 30; trial++ {
+		a := randomMatrix(1+rng.Intn(40), 1+rng.Intn(40), 0.2, rng)
+		b := randomMatrix(a.Cols(), 1+rng.Intn(40), 0.2, rng)
+		c := randomMatrix(b.Cols(), 1+rng.Intn(40), 0.2, rng)
+		left := a.Mul(b).Mul(c)
+		right := a.Mul(b.Mul(c))
+		if !left.Equal(right) {
+			t.Fatalf("trial %d: (AB)C != A(BC)", trial)
+		}
+		if !MulChain(a, b, c).Equal(left) {
+			t.Fatalf("trial %d: MulChain mismatch", trial)
+		}
+	}
+}
+
+func TestMulDimensionPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched product should panic")
+		}
+	}()
+	New(2, 3).Mul(New(4, 2))
+}
+
+func TestFromRowsAndString(t *testing.T) {
+	m := FromRows([][]bool{{true, false}, {false, true}})
+	if m.String() != "1 0\n0 1\n" {
+		t.Errorf("String = %q", m.String())
+	}
+	if m.Density() != 0.5 {
+		t.Errorf("Density = %v", m.Density())
+	}
+	if m.AllOnes() {
+		t.Error("not all ones")
+	}
+	one := FromRows([][]bool{{true, true}})
+	if !one.AllOnes() {
+		t.Error("AllOnes failed")
+	}
+}
+
+func TestZeroRowsCols(t *testing.T) {
+	m := FromRows([][]bool{
+		{true, true, true},
+		{true, false, true},
+		{true, true, false},
+	})
+	rows := m.ZeroRows()
+	if len(rows) != 2 || rows[0] != 1 || rows[1] != 2 {
+		t.Errorf("ZeroRows = %v", rows)
+	}
+	cols := m.ZeroCols()
+	if len(cols) != 2 || cols[0] != 1 || cols[1] != 2 {
+		t.Errorf("ZeroCols = %v", cols)
+	}
+	full := FromRows([][]bool{{true}, {true}})
+	if full.ZeroRows() != nil || full.ZeroCols() != nil {
+		t.Error("full matrix has no zero rows/cols")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := New(2, 2)
+	m.Set(0, 0)
+	c := m.Clone()
+	c.Set(1, 1)
+	if m.Get(1, 1) {
+		t.Error("Clone aliases")
+	}
+	if !c.Get(0, 0) {
+		t.Error("Clone lost bits")
+	}
+}
+
+func TestOrRowInto(t *testing.T) {
+	a := FromRows([][]bool{{true, false, true}})
+	b := New(2, 3)
+	a.OrRowInto(0, b, 1)
+	if !b.Get(1, 0) || b.Get(1, 1) || !b.Get(1, 2) || b.Get(0, 0) {
+		t.Error("OrRowInto wrong")
+	}
+}
+
+func TestEmptyMatrix(t *testing.T) {
+	m := New(0, 0)
+	if m.Ones() != 0 || m.Density() != 0 || !m.AllOnes() {
+		t.Error("empty matrix invariants")
+	}
+	// Product with empty inner dimension.
+	a := New(3, 0)
+	b := New(0, 4)
+	p := a.Mul(b)
+	if p.Rows() != 3 || p.Cols() != 4 || p.Ones() != 0 {
+		t.Error("empty inner product wrong")
+	}
+}
+
+// testing/quick property: Boolean products distribute over entry-wise OR in
+// the left operand: (A or B) C == AC or BC.
+func TestMulDistributesOverOrQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	orMat := func(a, b *Matrix) *Matrix {
+		out := a.Clone()
+		for i := 0; i < b.Rows(); i++ {
+			b.OrRowInto(i, out, i)
+		}
+		return out
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, q, s := 1+r.Intn(30), 1+r.Intn(30), 1+r.Intn(30)
+		a := randomMatrix(p, q, 0.3, rng)
+		b := randomMatrix(p, q, 0.3, rng)
+		c := randomMatrix(q, s, 0.3, rng)
+		left := orMat(a, b).Mul(c)
+		right := orMat(a.Mul(c), b.Mul(c))
+		return left.Equal(right)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Multiplying by an identity matrix is the identity.
+func TestMulIdentityQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(125))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, q := 1+r.Intn(40), 1+r.Intn(40)
+		a := randomMatrix(p, q, 0.4, rng)
+		id := New(q, q)
+		for i := 0; i < q; i++ {
+			id.Set(i, i)
+		}
+		return a.Mul(id).Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

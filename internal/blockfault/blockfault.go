@@ -1,0 +1,232 @@
+// Package blockfault implements the rectangular fault-block baseline the
+// paper compares against (Boppana & Chalasani [4]): arbitrary node faults
+// on a 2D mesh are first *inactivated* into disjoint rectangular fault
+// regions whose fault rings do not overlap, and messages then use XY
+// routing that detours around the rings.
+//
+// Two quantities matter for the comparison in Section 1 of Ho & Stockmeyer:
+//
+//   - how many good nodes must be inactivated to rectangularize the fault
+//     regions (the paper's open question, versus the number of lambs), and
+//   - how many turns ring detours add (ring schemes can take Theta(n)
+//     turns, versus at most kd-1 for k-round dimension-ordered routing).
+//
+// An inactivated node, unlike a lamb, can neither process *nor route*.
+package blockfault
+
+import (
+	"fmt"
+
+	"lambmesh/internal/mesh"
+	"lambmesh/internal/rect"
+)
+
+// Model is the rectangularized fault structure.
+type Model struct {
+	Mesh *mesh.Mesh
+	// Regions are the disjoint fault rectangles; their fault rings (the
+	// good-node boundary one step around each region) do not overlap.
+	Regions []rect.Rect
+	// Inactivated counts good nodes swallowed by the regions.
+	Inactivated int
+}
+
+// Build rectangularizes the node faults of a 2D mesh: each fault starts as
+// a 1x1 region, and regions whose one-step expansions intersect (meaning
+// their fault rings would share a node) are merged into their bounding box
+// until a fixpoint.
+func Build(f *mesh.FaultSet) (*Model, error) {
+	m := f.Mesh()
+	if m.Dims() != 2 {
+		return nil, fmt.Errorf("blockfault: the fault-ring baseline is defined for 2D meshes")
+	}
+	if m.Torus() {
+		return nil, fmt.Errorf("blockfault: meshes only")
+	}
+	if f.NumLinkFaults() > 0 {
+		return nil, fmt.Errorf("blockfault: link faults are not part of the block-fault model")
+	}
+	var regions []rect.Rect
+	for _, c := range f.NodeFaults() {
+		regions = append(regions, rect.Point(c))
+	}
+	merged := true
+	for merged {
+		merged = false
+	outer:
+		for i := 0; i < len(regions); i++ {
+			for j := i + 1; j < len(regions); j++ {
+				if expand(regions[i], 1).Intersects(expand(regions[j], 1)) {
+					regions[i] = boundingBox(regions[i], regions[j])
+					regions = append(regions[:j], regions[j+1:]...)
+					merged = true
+					break outer
+				}
+			}
+		}
+	}
+	mod := &Model{Mesh: m, Regions: regions}
+	for _, r := range regions {
+		mod.Inactivated += int(clip(r, m).Size())
+	}
+	mod.Inactivated -= f.NumNodeFaults()
+	return mod, nil
+}
+
+// expand grows a box by delta in every direction (may exceed the mesh;
+// callers only use it for intersection tests).
+func expand(r rect.Rect, delta int) rect.Rect {
+	out := make(rect.Rect, len(r))
+	for i, iv := range r {
+		out[i] = rect.Interval{Lo: iv.Lo - delta, Hi: iv.Hi + delta}
+	}
+	return out
+}
+
+func boundingBox(a, b rect.Rect) rect.Rect {
+	out := make(rect.Rect, len(a))
+	for i := range a {
+		lo, hi := a[i].Lo, a[i].Hi
+		if b[i].Lo < lo {
+			lo = b[i].Lo
+		}
+		if b[i].Hi > hi {
+			hi = b[i].Hi
+		}
+		out[i] = rect.Interval{Lo: lo, Hi: hi}
+	}
+	return out
+}
+
+func clip(r rect.Rect, m *mesh.Mesh) rect.Rect {
+	return r.Intersect(rect.Full(m))
+}
+
+// Blocked reports whether node c is faulty or inactivated (inside a
+// region).
+func (mod *Model) Blocked(c mesh.Coord) bool {
+	for _, r := range mod.Regions {
+		if r.Contains(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// regionAt returns the region containing c.
+func (mod *Model) regionAt(c mesh.Coord) (rect.Rect, bool) {
+	for _, r := range mod.Regions {
+		if r.Contains(c) {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// RouteXY routes from src to dst with XY ordering, detouring around fault
+// regions along their rings (a simplified f-cube-style router: when the
+// next hop would enter a region, the message walks to the nearer ring side,
+// crosses along the ring, and resumes). Returns the full node path. Both
+// endpoints must be active (not faulty/inactivated).
+func (mod *Model) RouteXY(src, dst mesh.Coord) ([]mesh.Coord, error) {
+	if mod.Blocked(src) || mod.Blocked(dst) {
+		return nil, fmt.Errorf("blockfault: endpoint inside a fault region")
+	}
+	path := []mesh.Coord{src.Clone()}
+	cur := src.Clone()
+	var err error
+	for dim := 0; dim < 2; dim++ {
+		path, cur, err = mod.correct(path, cur, dst, dim)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return path, nil
+}
+
+// correct advances cur along dim to dst[dim], detouring around regions.
+func (mod *Model) correct(path []mesh.Coord, cur, dst mesh.Coord, dim int) ([]mesh.Coord, mesh.Coord, error) {
+	other := 1 - dim
+	for cur[dim] != dst[dim] {
+		dir := 1
+		if dst[dim] < cur[dim] {
+			dir = -1
+		}
+		next := cur.Clone()
+		next[dim] += dir
+		if r, blocked := mod.regionAt(next); blocked {
+			var err error
+			path, cur, err = mod.detour(path, cur, dst, r, dim, dir, other)
+			if err != nil {
+				return nil, nil, err
+			}
+			continue
+		}
+		cur = next
+		path = append(path, cur.Clone())
+	}
+	return path, cur, nil
+}
+
+// detour walks around region r. In the usual case it sidesteps along
+// `other` to the nearer ring side, crosses along dim to just past the
+// region, and returns to the original `other` coordinate. When the target
+// coordinate dst[dim] lies within the region's span, returning would
+// re-enter the region from the far side, so the detour instead exits on the
+// ring side facing dst[other] and stops at dst[dim], leaving the remaining
+// correction to the next phase.
+func (mod *Model) detour(path []mesh.Coord, cur, dst mesh.Coord, r rect.Rect, dim, dir, other int) ([]mesh.Coord, mesh.Coord, error) {
+	n := mod.Mesh.Width(other)
+	lowSide := r[other].Lo - 1
+	highSide := r[other].Hi + 1
+	walk := func(d, target int) {
+		for cur[d] != target {
+			step := 1
+			if target < cur[d] {
+				step = -1
+			}
+			cur = cur.Clone()
+			cur[d] += step
+			path = append(path, cur.Clone())
+		}
+	}
+
+	if r[dim].Contains(dst[dim]) {
+		// Overshoot case: stop at dst[dim] on the ring side toward
+		// dst[other] (dst is not blocked, so it lies strictly on one side).
+		side := highSide
+		if dst[other] < r[other].Lo {
+			side = lowSide
+		}
+		if side < 0 || side > n-1 {
+			return nil, nil, fmt.Errorf("blockfault: region %v touches the mesh edge; no ring detour exists", r)
+		}
+		walk(other, side)
+		walk(dim, dst[dim])
+		return path, cur, nil
+	}
+
+	var side int
+	distLow := cur[other] - lowSide
+	distHigh := highSide - cur[other]
+	switch {
+	case lowSide >= 0 && (highSide > n-1 || distLow <= distHigh):
+		side = lowSide
+	case highSide <= n-1:
+		side = highSide
+	default:
+		return nil, nil, fmt.Errorf("blockfault: region %v spans the mesh; no ring detour exists", r)
+	}
+	exit := r[dim].Hi + 1
+	if dir < 0 {
+		exit = r[dim].Lo - 1
+	}
+	if exit < 0 || exit > mod.Mesh.Width(dim)-1 {
+		return nil, nil, fmt.Errorf("blockfault: region %v touches the mesh edge along the travel axis", r)
+	}
+	orig := cur[other]
+	walk(other, side)
+	walk(dim, exit)
+	walk(other, orig)
+	return path, cur, nil
+}

@@ -1,0 +1,251 @@
+package blockfault
+
+import (
+	"math/rand"
+	"testing"
+
+	"lambmesh/internal/mesh"
+	"lambmesh/internal/routing"
+)
+
+func TestBuildSingleFault(t *testing.T) {
+	m := mesh.MustNew(8, 8)
+	f := mesh.NewFaultSet(m)
+	f.AddNode(mesh.C(3, 3))
+	mod, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mod.Regions) != 1 || mod.Inactivated != 0 {
+		t.Errorf("regions=%v inactivated=%d", mod.Regions, mod.Inactivated)
+	}
+	if !mod.Blocked(mesh.C(3, 3)) || mod.Blocked(mesh.C(2, 3)) {
+		t.Error("Blocked wrong")
+	}
+}
+
+func TestBuildMergesNearbyFaults(t *testing.T) {
+	m := mesh.MustNew(10, 10)
+	f := mesh.NewFaultSet(m)
+	// Diagonal neighbors with overlapping rings: must merge into one 2x2
+	// region, inactivating the 2 good corners.
+	f.AddNodes(mesh.C(3, 3), mesh.C(4, 4))
+	mod, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mod.Regions) != 1 {
+		t.Fatalf("regions = %v, want 1 merged box", mod.Regions)
+	}
+	if mod.Inactivated != 2 {
+		t.Errorf("inactivated = %d, want 2", mod.Inactivated)
+	}
+	// A gap-1 pair (the node between is on both rings) must also merge,
+	// inactivating that node.
+	f2 := mesh.NewFaultSet(m)
+	f2.AddNodes(mesh.C(1, 1), mesh.C(3, 1))
+	mod2, err := Build(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mod2.Regions) != 1 || mod2.Inactivated != 1 {
+		t.Errorf("regions=%d inactivated=%d, want 1 region, 1 inactivated", len(mod2.Regions), mod2.Inactivated)
+	}
+	// A gap-2 pair has disjoint rings and stays separate.
+	f2b := mesh.NewFaultSet(m)
+	f2b.AddNodes(mesh.C(1, 1), mesh.C(4, 1))
+	mod2b, err := Build(f2b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mod2b.Regions) != 2 || mod2b.Inactivated != 0 {
+		t.Errorf("gap-2: regions=%d inactivated=%d, want 2 regions", len(mod2b.Regions), mod2b.Inactivated)
+	}
+	// Far-apart faults stay separate.
+	f3 := mesh.NewFaultSet(m)
+	f3.AddNodes(mesh.C(1, 1), mesh.C(7, 7))
+	mod3, err := Build(f3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mod3.Regions) != 2 || mod3.Inactivated != 0 {
+		t.Errorf("far faults: regions=%d inactivated=%d", len(mod3.Regions), mod3.Inactivated)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	m3 := mesh.MustNew(4, 4, 4)
+	if _, err := Build(mesh.NewFaultSet(m3)); err == nil {
+		t.Error("3D should be rejected")
+	}
+	m := mesh.MustNew(4, 4)
+	f := mesh.NewFaultSet(m)
+	f.AddLink(mesh.Link{From: mesh.C(0, 0), Dim: 0, Dir: 1})
+	if _, err := Build(f); err == nil {
+		t.Error("link faults should be rejected")
+	}
+}
+
+func TestRouteXYNoFaults(t *testing.T) {
+	m := mesh.MustNew(8, 8)
+	mod, err := Build(mesh.NewFaultSet(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := mod.RouteXY(mesh.C(1, 1), mesh.C(6, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if routing.PathLen(p) != 8 {
+		t.Errorf("hops = %d, want 8", routing.PathLen(p))
+	}
+	if routing.CountTurns(p) != 1 {
+		t.Errorf("turns = %d, want 1", routing.CountTurns(p))
+	}
+}
+
+func TestRouteXYDetour(t *testing.T) {
+	m := mesh.MustNew(9, 9)
+	f := mesh.NewFaultSet(m)
+	// A 3-wide wall across the middle of the route's row.
+	f.AddNodes(mesh.C(4, 3), mesh.C(4, 4), mesh.C(4, 5))
+	mod, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := mod.RouteXY(mesh.C(0, 4), mesh.C(8, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range p {
+		if mod.Blocked(c) {
+			t.Fatalf("path enters region at %v", c)
+		}
+	}
+	if !p[len(p)-1].Equal(mesh.C(8, 4)) {
+		t.Fatalf("path ends at %v", p[len(p)-1])
+	}
+	// The detour costs extra turns over the fault-free single turn.
+	if routing.CountTurns(p) < 3 {
+		t.Errorf("expected a multi-turn detour, got %d turns", routing.CountTurns(p))
+	}
+}
+
+// Destination column blocked at the crossing row: the overshoot case.
+func TestRouteXYOvershootCase(t *testing.T) {
+	m := mesh.MustNew(9, 9)
+	f := mesh.NewFaultSet(m)
+	f.AddNodes(mesh.C(4, 4))
+	mod, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// X phase from (0,4) toward x=4 hits the region whose span contains
+	// dst x; route must not ping-pong.
+	p, err := mod.RouteXY(mesh.C(0, 4), mesh.C(4, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := p[len(p)-1]
+	if !last.Equal(mesh.C(4, 8)) {
+		t.Fatalf("path ends at %v", last)
+	}
+	for _, c := range p {
+		if mod.Blocked(c) {
+			t.Fatalf("path enters region at %v", c)
+		}
+	}
+}
+
+func TestRouteXYEndpointInRegion(t *testing.T) {
+	m := mesh.MustNew(8, 8)
+	f := mesh.NewFaultSet(m)
+	f.AddNodes(mesh.C(3, 3), mesh.C(4, 4)) // merges; (3,4) inactivated
+	mod, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mod.RouteXY(mesh.C(3, 4), mesh.C(0, 0)); err == nil {
+		t.Error("inactivated source should be rejected")
+	}
+	if _, err := mod.RouteXY(mesh.C(0, 0), mesh.C(4, 3)); err == nil {
+		t.Error("inactivated destination should be rejected")
+	}
+}
+
+func TestRouteXYWallSpanningMesh(t *testing.T) {
+	m := mesh.MustNew(5, 5)
+	f := mesh.NewFaultSet(m)
+	for y := 0; y < 5; y++ {
+		f.AddNode(mesh.C(2, y))
+	}
+	mod, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mod.RouteXY(mesh.C(0, 0), mesh.C(4, 0)); err == nil {
+		t.Error("full wall should make the pair unroutable")
+	}
+}
+
+// Randomized: routes between random active pairs stay legal and terminate.
+func TestRouteXYRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := mesh.MustNew(16, 16)
+	for trial := 0; trial < 40; trial++ {
+		f := mesh.RandomNodeFaults(m, 1+rng.Intn(8), rng)
+		mod, err := Build(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var active []mesh.Coord
+		m.ForEachNode(func(c mesh.Coord) {
+			if !mod.Blocked(c) {
+				active = append(active, c.Clone())
+			}
+		})
+		for pair := 0; pair < 30; pair++ {
+			src := active[rng.Intn(len(active))]
+			dst := active[rng.Intn(len(active))]
+			p, err := mod.RouteXY(src, dst)
+			if err != nil {
+				// Legitimate only if a region touches an edge on the way;
+				// with few faults on 16x16 this is rare but possible.
+				continue
+			}
+			if !p[0].Equal(src) || !p[len(p)-1].Equal(dst) {
+				t.Fatalf("trial %d: endpoints wrong", trial)
+			}
+			for i := 1; i < len(p); i++ {
+				if p[i].L1(p[i-1]) != 1 {
+					t.Fatalf("trial %d: non-adjacent step %v -> %v", trial, p[i-1], p[i])
+				}
+				if mod.Blocked(p[i]) {
+					t.Fatalf("trial %d: path enters a region at %v", trial, p[i])
+				}
+			}
+		}
+	}
+}
+
+// The paper's motivation: ring detours can cost Theta(n) turns, while
+// 2-round dimension-ordered routing never exceeds 2d-1 = 3.
+func TestManyTurnsVersusDOR(t *testing.T) {
+	m := mesh.MustNew(17, 17)
+	f := mesh.NewFaultSet(m)
+	// A staircase of separated blocks, each forcing its own detour.
+	for i := 0; i < 4; i++ {
+		f.AddNode(mesh.C(3+3*i, 6))
+	}
+	mod, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := mod.RouteXY(mesh.C(0, 6), mesh.C(16, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if routing.CountTurns(p) < 4*4 {
+		t.Errorf("staircase detours should cost >= 16 turns, got %d", routing.CountTurns(p))
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+
+	"lambmesh/internal/mesh"
+	"lambmesh/internal/reach"
+	"lambmesh/internal/rect"
+	"lambmesh/internal/routing"
+	"lambmesh/internal/vcover"
+)
+
+// Lamb1 finds a lamb set by the bipartite reduction of Section 6.3.1:
+//
+//  1. Find SES/DES partitions and the k-round reachability matrix R^(k)
+//     (Find-SES-Partition, Find-DES-Partition, Find-Reachability).
+//  2. Build a bipartite graph on the relevant SESs and DESs — those whose
+//     row/column of R^(k) contains a zero — with an edge per zero entry and
+//     set sizes (or total values) as weights.
+//  3. Solve weighted vertex cover exactly by min-cut and return the union
+//     of the chosen sets (plus any predetermined lambs).
+//
+// The result is a valid lamb set of size at most twice the minimum
+// (Theorem 6.7); total time O(k d^3 f^3 + |lambs|), independent of N.
+func Lamb1(f *mesh.FaultSet, orders routing.MultiOrder, opts ...Option) (*Result, error) {
+	cfg := buildConfig(opts)
+	if err := validateConfig(f, cfg); err != nil {
+		return nil, err
+	}
+	compute := reach.Compute
+	if cfg.sweep {
+		compute = reach.ComputeWithSweep
+	}
+	rc, err := compute(f, orders)
+	if err != nil {
+		return nil, err
+	}
+	sigma := rc.Sigma[0]
+	delta := rc.Delta[len(rc.Delta)-1]
+
+	zr := rc.RK.ZeroRows()
+	zc := rc.RK.ZeroCols()
+
+	pre := cfg.predeterminedIndex(f.Mesh())
+	bg := &vcover.Bipartite{
+		LeftWeight:  make([]int64, len(zr)),
+		RightWeight: make([]int64, len(zc)),
+		Edges:       make([][]int, len(zr)),
+	}
+	for ii, i := range zr {
+		bg.LeftWeight[ii] = setWeight(f.Mesh(), sigma.Sets[i].Rect, cfg, pre)
+		for jj, j := range zc {
+			if !rc.RK.Get(i, j) {
+				bg.Edges[ii] = append(bg.Edges[ii], jj)
+			}
+		}
+	}
+	for jj, j := range zc {
+		bg.RightWeight[jj] = setWeight(f.Mesh(), delta.Sets[j].Rect, cfg, pre)
+	}
+
+	cover := vcover.SolveBipartite(bg)
+
+	st := Stats{
+		Faults:      f.Count(),
+		NumSES:      sigma.Len(),
+		NumDES:      delta.Len(),
+		RelevantSES: len(zr),
+		RelevantDES: len(zc),
+		CoverWeight: cover.Weight,
+	}
+	return newResult(f.Mesh(), orders, cfg, st, rc, func(emit func(mesh.Coord)) {
+		for ii, i := range zr {
+			if cover.Left[ii] {
+				sigma.Sets[i].Rect.ForEach(emit)
+			}
+		}
+		for jj, j := range zc {
+			if cover.Right[jj] {
+				delta.Sets[j].Rect.ForEach(emit)
+			}
+		}
+	}), nil
+}
+
+// setWeight returns the total value of the nodes of r, excluding
+// predetermined lambs (which are removed from every set per Section 7).
+// With no options this is just the set size, computed in O(d).
+func setWeight(m *mesh.Mesh, r rect.Rect, cfg *config, pre map[int64]struct{}) int64 {
+	w := r.Size() // default value 1 per node
+	for idx, v := range cfg.values {
+		if _, isPre := pre[idx]; isPre {
+			continue // removed below; its custom value must not count
+		}
+		if r.Contains(m.CoordOf(idx)) {
+			w += v - 1
+		}
+	}
+	// Predetermined nodes are removed from the set; each contributed the
+	// default 1 to Size above (their custom values were skipped).
+	for idx := range pre {
+		if r.Contains(m.CoordOf(idx)) {
+			w--
+		}
+	}
+	if w < 0 {
+		w = 0
+	}
+	return w
+}
+
+// validateConfig rejects ill-formed extension options.
+func validateConfig(f *mesh.FaultSet, cfg *config) error {
+	for idx, v := range cfg.values {
+		if v < 0 {
+			return fmt.Errorf("core: negative value %d for node %v", v, f.Mesh().CoordOf(idx))
+		}
+		if idx < 0 || idx >= f.Mesh().Nodes() {
+			return fmt.Errorf("core: value key %d outside mesh", idx)
+		}
+	}
+	for _, c := range cfg.predetermined {
+		if !f.Mesh().Contains(c) {
+			return fmt.Errorf("core: predetermined lamb %v outside mesh", c)
+		}
+		if f.NodeFaulty(c) {
+			return fmt.Errorf("core: predetermined lamb %v is faulty", c)
+		}
+	}
+	return nil
+}

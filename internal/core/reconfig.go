@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"lambmesh/internal/mesh"
+	"lambmesh/internal/routing"
+)
+
+// Reconfigurer drives the roll-back/reconfigure framework the paper
+// sketches in Section 1: when a diagnostic detects new faults, the system
+// rolls back to a checkpoint, extends the fault set, and recomputes the
+// lamb set assuming static faults and global knowledge. The Reconfigurer
+// holds that evolving state. With KeepLambs set, each new lamb set is
+// forced to contain the previous one (via the Section 7 predetermined-lamb
+// extension), so nodes never oscillate back from lamb to survivor — an
+// operational property reconfiguration protocols usually want.
+type Reconfigurer struct {
+	faults *mesh.FaultSet
+	orders routing.MultiOrder
+	lambs  []mesh.Coord
+	// KeepLambs forces monotone lamb sets across generations.
+	KeepLambs bool
+	// generation counts completed reconfigurations.
+	generation int
+}
+
+// NewReconfigurer starts with a fault-free mesh and an empty lamb set.
+func NewReconfigurer(m *mesh.Mesh, orders routing.MultiOrder, keepLambs bool) (*Reconfigurer, error) {
+	if err := orders.Validate(m.Dims()); err != nil {
+		return nil, err
+	}
+	if m.Torus() {
+		return nil, fmt.Errorf("core: Reconfigurer uses the mesh algorithms; tori need the generic path")
+	}
+	return &Reconfigurer{
+		faults:    mesh.NewFaultSet(m),
+		orders:    orders,
+		KeepLambs: keepLambs,
+	}, nil
+}
+
+// Faults returns the accumulated fault set (do not mutate).
+func (r *Reconfigurer) Faults() *mesh.FaultSet { return r.faults }
+
+// Lambs returns the current lamb set (do not mutate).
+func (r *Reconfigurer) Lambs() []mesh.Coord { return r.lambs }
+
+// Generation returns how many reconfigurations have completed.
+func (r *Reconfigurer) Generation() int { return r.generation }
+
+// AddFaults folds newly detected faults into the configuration and
+// recomputes the lamb set with Lamb1. A node that was a lamb and has now
+// failed outright simply moves from the lamb set to the fault set. The
+// returned Result reflects the new configuration.
+func (r *Reconfigurer) AddFaults(nodes []mesh.Coord, links []mesh.Link) (*Result, error) {
+	for _, c := range nodes {
+		if !r.faults.Mesh().Contains(c) {
+			return nil, fmt.Errorf("core: new fault %v outside mesh", c)
+		}
+		r.faults.AddNode(c)
+	}
+	for _, l := range links {
+		r.faults.AddLink(l)
+	}
+	var opts []Option
+	if r.KeepLambs {
+		// Previous lambs that just failed are faults now, not lambs.
+		var stillGood []mesh.Coord
+		for _, c := range r.lambs {
+			if !r.faults.NodeFaulty(c) {
+				stillGood = append(stillGood, c)
+			}
+		}
+		opts = append(opts, WithPredetermined(stillGood))
+	}
+	res, err := Lamb1(r.faults, r.orders, opts...)
+	if err != nil {
+		return nil, err
+	}
+	r.lambs = res.Lambs
+	r.generation++
+	return res, nil
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"lambmesh/internal/mesh"
+	"lambmesh/internal/routing"
+)
+
+func TestReconfigurerBasicFlow(t *testing.T) {
+	m := mesh.MustNew(12, 12)
+	orders := routing.UniformAscending(2, 2)
+	r, err := NewReconfigurer(m, orders, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Generation() != 0 || len(r.Lambs()) != 0 {
+		t.Fatal("fresh reconfigurer should be empty")
+	}
+	// Generation 1: the paper example's faults.
+	res, err := r.AddFaults([]mesh.Coord{mesh.C(9, 1), mesh.C(11, 6), mesh.C(10, 10)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumLambs() != 2 || r.Generation() != 1 {
+		t.Fatalf("gen1: %v", res.Lambs)
+	}
+	gen1 := append([]mesh.Coord(nil), r.Lambs()...)
+
+	// Generation 2: a new fault elsewhere; old lambs must persist.
+	res2, err := r.AddFaults([]mesh.Coord{mesh.C(4, 4)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range gen1 {
+		if !res2.IsLamb(c) {
+			t.Errorf("lamb %v from generation 1 disappeared", c)
+		}
+	}
+	if err := VerifyLambSet(r.Faults(), orders, res2.Lambs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A lamb that later fails outright becomes a fault, not a predetermined
+// lamb.
+func TestReconfigurerLambBecomesFault(t *testing.T) {
+	m := mesh.MustNew(12, 12)
+	orders := routing.UniformAscending(2, 2)
+	r, err := NewReconfigurer(m, orders, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddFaults([]mesh.Coord{mesh.C(9, 1), mesh.C(11, 6), mesh.C(10, 10)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// (11,10) was a lamb; now it dies.
+	res, err := r.AddFaults([]mesh.Coord{mesh.C(11, 10)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IsLamb(mesh.C(11, 10)) {
+		t.Error("a failed node cannot stay a lamb")
+	}
+	if !r.Faults().NodeFaulty(mesh.C(11, 10)) {
+		t.Error("failed lamb should be in the fault set")
+	}
+	if err := VerifyLambSet(r.Faults(), orders, res.Lambs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Monotone lamb sets across many random generations, including link
+// faults; without KeepLambs the sets may shrink.
+func TestReconfigurerRandomGenerations(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	m := mesh.MustNew(10, 10)
+	orders := routing.UniformAscending(2, 2)
+	r, err := NewReconfigurer(m, orders, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := map[int64]bool{}
+	for gen := 0; gen < 6; gen++ {
+		var nodes []mesh.Coord
+		for i := 0; i < 2; i++ {
+			nodes = append(nodes, m.CoordOf(rng.Int63n(m.Nodes())))
+		}
+		var links []mesh.Link
+		c := m.CoordOf(rng.Int63n(m.Nodes()))
+		for dim := 0; dim < 2; dim++ {
+			if _, ok := m.Neighbor(c, dim, 1); ok {
+				links = append(links, mesh.Link{From: c, Dim: dim, Dir: 1})
+				break
+			}
+		}
+		res, err := r.AddFaults(nodes, links)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := map[int64]bool{}
+		for _, l := range res.Lambs {
+			cur[m.Index(l)] = true
+		}
+		for idx := range prev {
+			if !cur[idx] && !r.Faults().NodeFaulty(m.CoordOf(idx)) {
+				t.Fatalf("gen %d: lamb %v vanished without failing", gen, m.CoordOf(idx))
+			}
+		}
+		prev = cur
+		if err := VerifyLambSet(r.Faults(), orders, res.Lambs); err != nil {
+			t.Fatalf("gen %d: %v", gen, err)
+		}
+	}
+	if r.Generation() != 6 {
+		t.Errorf("Generation = %d", r.Generation())
+	}
+}
+
+func TestReconfigurerValidation(t *testing.T) {
+	m := mesh.MustNew(6, 6)
+	if _, err := NewReconfigurer(m, routing.MultiOrder{{0, 0}}, false); err == nil {
+		t.Error("bad ordering should fail")
+	}
+	tor, _ := mesh.NewTorus(4, 4)
+	if _, err := NewReconfigurer(tor, routing.UniformAscending(2, 2), false); err == nil {
+		t.Error("torus should be rejected")
+	}
+	r, err := NewReconfigurer(m, routing.UniformAscending(2, 2), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddFaults([]mesh.Coord{mesh.C(99, 0)}, nil); err == nil {
+		t.Error("out-of-mesh fault should fail")
+	}
+}

@@ -1,0 +1,86 @@
+package mesh
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Coord is a node position in a d-dimensional mesh. Coordinate i ranges over
+// [0, n_i) where n_i is the width of dimension i. Dimensions are 0-indexed
+// internally; the paper's dimension 1 is our dimension 0 (its X).
+type Coord []int
+
+// Clone returns an independent copy of c.
+func (c Coord) Clone() Coord {
+	out := make(Coord, len(c))
+	copy(out, c)
+	return out
+}
+
+// Equal reports whether c and o name the same node.
+func (c Coord) Equal(o Coord) bool {
+	if len(c) != len(o) {
+		return false
+	}
+	for i := range c {
+		if c[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// L1 returns the L1 (Manhattan) distance between c and o, which must have
+// the same dimensionality.
+func (c Coord) L1(o Coord) int {
+	d := 0
+	for i := range c {
+		d += abs(c[i] - o[i])
+	}
+	return d
+}
+
+// String renders the coordinate in the paper's "(x,y,z)" style.
+func (c Coord) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range c {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(v))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// ParseCoord parses a coordinate written as "x,y,z" or "(x,y,z)".
+func ParseCoord(s string) (Coord, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "(")
+	s = strings.TrimSuffix(s, ")")
+	if s == "" {
+		return nil, fmt.Errorf("mesh: empty coordinate")
+	}
+	parts := strings.Split(s, ",")
+	c := make(Coord, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("mesh: bad coordinate %q: %v", s, err)
+		}
+		c[i] = v
+	}
+	return c, nil
+}
+
+// C is a convenience constructor: C(1,2,3) == Coord{1,2,3}.
+func C(vs ...int) Coord { return Coord(vs) }
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

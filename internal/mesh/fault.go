@@ -1,0 +1,240 @@
+package mesh
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Link identifies the directed link <From, To> where To is one step from
+// From along dimension Dim in direction Dir (+1 or -1). Storing the step
+// rather than the endpoint keeps links valid under sub-mesh slicing.
+type Link struct {
+	From Coord
+	Dim  int
+	Dir  int // +1 or -1
+}
+
+// To returns the head node of the link within mesh m.
+func (l Link) To(m *Mesh) Coord {
+	to, ok := m.Neighbor(l.From, l.Dim, l.Dir)
+	if !ok {
+		panic(fmt.Sprintf("mesh: link %v has no head in %v", l, m))
+	}
+	return to
+}
+
+func (l Link) String() string {
+	arrow := "+"
+	if l.Dir < 0 {
+		arrow = "-"
+	}
+	return fmt.Sprintf("<%v,dim%d%s>", l.From, l.Dim, arrow)
+}
+
+// FaultSet is a fault set F = (F_N, F_L) per Definition 2.4: a set of faulty
+// nodes and a set of faulty directed links. A faulty node implicitly makes
+// all its incident links unusable; those links are not listed in F_L.
+type FaultSet struct {
+	m     *Mesh
+	nodes map[int64]struct{} // keyed by linear index
+	order []Coord            // insertion order, for deterministic iteration
+	links map[linkKey]struct{}
+	lord  []Link
+}
+
+type linkKey struct {
+	from int64
+	dim  int
+	dir  int
+}
+
+// NewFaultSet returns an empty fault set for mesh m.
+func NewFaultSet(m *Mesh) *FaultSet {
+	return &FaultSet{
+		m:     m,
+		nodes: make(map[int64]struct{}),
+		links: make(map[linkKey]struct{}),
+	}
+}
+
+// Mesh returns the mesh the fault set belongs to.
+func (f *FaultSet) Mesh() *Mesh { return f.m }
+
+// AddNode marks node c faulty. Adding a node twice is a no-op.
+func (f *FaultSet) AddNode(c Coord) {
+	if !f.m.Contains(c) {
+		panic(fmt.Sprintf("mesh: fault %v outside %v", c, f.m))
+	}
+	idx := f.m.Index(c)
+	if _, ok := f.nodes[idx]; ok {
+		return
+	}
+	f.nodes[idx] = struct{}{}
+	f.order = append(f.order, c.Clone())
+}
+
+// AddNodes marks every coordinate in cs faulty.
+func (f *FaultSet) AddNodes(cs ...Coord) {
+	for _, c := range cs {
+		f.AddNode(c)
+	}
+}
+
+// AddLink marks the directed link l faulty. To fail a link in both
+// directions, add both orientations.
+func (f *FaultSet) AddLink(l Link) {
+	if !f.m.Contains(l.From) {
+		panic(fmt.Sprintf("mesh: link tail %v outside %v", l.From, f.m))
+	}
+	if _, ok := f.m.Neighbor(l.From, l.Dim, l.Dir); !ok {
+		panic(fmt.Sprintf("mesh: link %v has no head in %v", l, f.m))
+	}
+	if l.Dir != 1 && l.Dir != -1 {
+		panic("mesh: link direction must be +1 or -1")
+	}
+	k := linkKey{f.m.Index(l.From), l.Dim, l.Dir}
+	if _, ok := f.links[k]; ok {
+		return
+	}
+	f.links[k] = struct{}{}
+	f.lord = append(f.lord, Link{From: l.From.Clone(), Dim: l.Dim, Dir: l.Dir})
+}
+
+// NodeFaulty reports whether node c is in F_N.
+func (f *FaultSet) NodeFaulty(c Coord) bool {
+	_, ok := f.nodes[f.m.Index(c)]
+	return ok
+}
+
+// LinkFaulty reports whether the directed link l is in F_L. It does not
+// consider links incident to faulty nodes; use Usable for that.
+func (f *FaultSet) LinkFaulty(l Link) bool {
+	_, ok := f.links[linkKey{f.m.Index(l.From), l.Dim, l.Dir}]
+	return ok
+}
+
+// Usable reports whether the directed link l can carry traffic: the link is
+// not in F_L and neither endpoint is in F_N.
+func (f *FaultSet) Usable(l Link) bool {
+	if f.LinkFaulty(l) || f.NodeFaulty(l.From) {
+		return false
+	}
+	return !f.NodeFaulty(l.To(f.m))
+}
+
+// NumNodeFaults returns |F_N|.
+func (f *FaultSet) NumNodeFaults() int { return len(f.nodes) }
+
+// NumLinkFaults returns |F_L|.
+func (f *FaultSet) NumLinkFaults() int { return len(f.links) }
+
+// Count returns f = |F_N| + |F_L|, the total number of faults.
+func (f *FaultSet) Count() int { return len(f.nodes) + len(f.links) }
+
+// NodeFaults returns the faulty nodes in insertion order. The slice is
+// shared; do not modify it.
+func (f *FaultSet) NodeFaults() []Coord { return f.order }
+
+// LinkFaults returns the faulty links in insertion order. The slice is
+// shared; do not modify it.
+func (f *FaultSet) LinkFaults() []Link { return f.lord }
+
+// GoodNodes returns the number of nonfaulty nodes.
+func (f *FaultSet) GoodNodes() int64 { return f.m.Nodes() - int64(len(f.nodes)) }
+
+// Clone returns an independent copy of the fault set.
+func (f *FaultSet) Clone() *FaultSet {
+	out := NewFaultSet(f.m)
+	for _, c := range f.order {
+		out.AddNode(c)
+	}
+	for _, l := range f.lord {
+		out.AddLink(l)
+	}
+	return out
+}
+
+// SliceNodes returns F/c restricted to node faults (the paper's F_N/c): the
+// node faults whose coordinate in dimension dim equals c, projected into the
+// (d-1)-dimensional sub-mesh that drops dimension dim.
+func (f *FaultSet) SliceNodes(dim, c int) []Coord {
+	var out []Coord
+	for _, v := range f.order {
+		if v[dim] != c {
+			continue
+		}
+		out = append(out, dropDim(v, dim))
+	}
+	return out
+}
+
+func dropDim(c Coord, dim int) Coord {
+	out := make(Coord, 0, len(c)-1)
+	for i, v := range c {
+		if i != dim {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// RandomNodeFaults returns a fault set with exactly count distinct node
+// faults chosen uniformly at random (the paper's simulation fault model,
+// Section 8). The rng makes trials reproducible.
+func RandomNodeFaults(m *Mesh, count int, rng *rand.Rand) *FaultSet {
+	if int64(count) > m.Nodes() {
+		panic(fmt.Sprintf("mesh: %d faults exceed %d nodes", count, m.Nodes()))
+	}
+	f := NewFaultSet(m)
+	seen := make(map[int64]struct{}, count)
+	for len(seen) < count {
+		idx := rng.Int63n(m.Nodes())
+		if _, dup := seen[idx]; dup {
+			continue
+		}
+		seen[idx] = struct{}{}
+		f.AddNode(m.CoordOf(idx))
+	}
+	return f
+}
+
+// RandomLinkFaults adds exactly count distinct random directed link faults
+// to f (links incident to already-faulty nodes are skipped, since they are
+// implicitly dead). The paper's definitions and algorithms handle link
+// faults throughout even though its simulations use node faults only.
+func RandomLinkFaults(f *FaultSet, count int, rng *rand.Rand) {
+	m := f.m
+	for added := 0; added < count; {
+		c := m.CoordOf(rng.Int63n(m.Nodes()))
+		dim := rng.Intn(m.Dims())
+		dir := 1 - 2*rng.Intn(2)
+		head, ok := m.Neighbor(c, dim, dir)
+		if !ok {
+			continue
+		}
+		if f.NodeFaulty(c) || f.NodeFaulty(head) {
+			continue
+		}
+		l := Link{From: c, Dim: dim, Dir: dir}
+		if f.LinkFaulty(l) {
+			continue
+		}
+		f.AddLink(l)
+		added++
+	}
+}
+
+// SortedNodeFaults returns the faulty nodes sorted lexicographically with
+// the most significant coordinate last (index order). Useful for
+// deterministic output.
+func (f *FaultSet) SortedNodeFaults() []Coord {
+	out := make([]Coord, len(f.order))
+	for i, c := range f.order {
+		out[i] = c.Clone()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return f.m.Index(out[i]) < f.m.Index(out[j])
+	})
+	return out
+}

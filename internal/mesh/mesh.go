@@ -1,0 +1,212 @@
+// Package mesh models d-dimensional mesh-connected networks — the topology
+// substrate of Ho & Stockmeyer, "A New Approach to Fault-Tolerant Wormhole
+// Routing for Mesh-Connected Parallel Computers" (IPDPS 2002).
+//
+// A mesh M_d(n_1,...,n_d) has nodes (v_1,...,v_d) with 0 <= v_i < n_i and a
+// pair of directed links between every two nodes at L1 distance 1
+// (Definition 2.1 of the paper). The package also supports the torus variant
+// of Section 7, which adds wrap-around links in every dimension.
+//
+// Node and link fault sets (Definition 2.4) live here too: a fault set is
+// F = (F_N, F_L) with F_N a set of nodes and F_L a set of *directed* links,
+// so a link may fail in only one direction.
+package mesh
+
+import "fmt"
+
+// Mesh describes a d-dimensional mesh (or torus) topology. The zero value is
+// not usable; construct with New, NewCube, or NewTorus.
+type Mesh struct {
+	widths  []int
+	strides []int64 // strides[i] = product of widths[0..i-1]
+	n       int64   // total number of nodes
+	torus   bool
+}
+
+// New returns the mesh M_d(widths[0], ..., widths[d-1]). Every width must be
+// at least 2 (Definition 2.1).
+func New(widths ...int) (*Mesh, error) {
+	return build(widths, false)
+}
+
+// NewTorus returns the d-dimensional torus with the given widths: the mesh
+// plus wrap-around links between coordinate n_i-1 and 0 in each dimension i
+// (Section 7 of the paper).
+func NewTorus(widths ...int) (*Mesh, error) {
+	return build(widths, true)
+}
+
+// NewCube returns M_d(n): the d-dimensional mesh with all widths equal to n.
+// With n == 2 this is the d-dimensional binary hypercube.
+func NewCube(d, n int) (*Mesh, error) {
+	w := make([]int, d)
+	for i := range w {
+		w[i] = n
+	}
+	return New(w...)
+}
+
+// MustNew is New but panics on error; for tests and examples with constant
+// dimensions.
+func MustNew(widths ...int) *Mesh {
+	m, err := New(widths...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func build(widths []int, torus bool) (*Mesh, error) {
+	if len(widths) == 0 {
+		return nil, fmt.Errorf("mesh: need at least one dimension")
+	}
+	m := &Mesh{
+		widths:  append([]int(nil), widths...),
+		strides: make([]int64, len(widths)),
+		torus:   torus,
+	}
+	m.n = 1
+	for i, w := range widths {
+		if w < 2 {
+			return nil, fmt.Errorf("mesh: width of dimension %d is %d; must be >= 2", i, w)
+		}
+		m.strides[i] = m.n
+		m.n *= int64(w)
+	}
+	return m, nil
+}
+
+// Dims returns d, the number of dimensions.
+func (m *Mesh) Dims() int { return len(m.widths) }
+
+// Width returns the width n_i of dimension i.
+func (m *Mesh) Width(i int) int { return m.widths[i] }
+
+// Widths returns a copy of all widths.
+func (m *Mesh) Widths() []int { return append([]int(nil), m.widths...) }
+
+// Nodes returns N, the total number of nodes.
+func (m *Mesh) Nodes() int64 { return m.n }
+
+// Torus reports whether the topology has wrap-around links.
+func (m *Mesh) Torus() bool { return m.torus }
+
+// BisectionWidth returns the number of node faults required to cut the mesh
+// into two roughly equal halves. Following Section 8 of the paper, for
+// M_d(n) this is n^(d-1); in general it is N divided by the largest width.
+func (m *Mesh) BisectionWidth() int64 {
+	maxW := 0
+	for _, w := range m.widths {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	return m.n / int64(maxW)
+}
+
+// Contains reports whether c is a node of the mesh.
+func (m *Mesh) Contains(c Coord) bool {
+	if len(c) != len(m.widths) {
+		return false
+	}
+	for i, v := range c {
+		if v < 0 || v >= m.widths[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Index converts a coordinate to its linear index in [0, Nodes()).
+// The first dimension varies fastest. Panics if c is out of range.
+func (m *Mesh) Index(c Coord) int64 {
+	if !m.Contains(c) {
+		panic(fmt.Sprintf("mesh: coordinate %v outside %v", c, m))
+	}
+	var idx int64
+	for i, v := range c {
+		idx += int64(v) * m.strides[i]
+	}
+	return idx
+}
+
+// CoordOf converts a linear index back to a coordinate.
+func (m *Mesh) CoordOf(idx int64) Coord {
+	if idx < 0 || idx >= m.n {
+		panic(fmt.Sprintf("mesh: index %d outside [0,%d)", idx, m.n))
+	}
+	c := make(Coord, len(m.widths))
+	for i, w := range m.widths {
+		c[i] = int(idx % int64(w))
+		idx /= int64(w)
+	}
+	return c
+}
+
+// ProfileIndex returns a value that uniquely identifies c among all nodes
+// that agree with c on every dimension except skipDim. It is the linear
+// index of c with coordinate skipDim forced to zero. Routing fault indexes
+// key on this.
+func (m *Mesh) ProfileIndex(c Coord, skipDim int) int64 {
+	var idx int64
+	for i, v := range c {
+		if i == skipDim {
+			continue
+		}
+		idx += int64(v) * m.strides[i]
+	}
+	return idx
+}
+
+// Neighbor returns the neighbor of c one step along dimension dim in
+// direction dir (+1 or -1), and whether such a neighbor exists. On a torus
+// the step wraps around.
+func (m *Mesh) Neighbor(c Coord, dim, dir int) (Coord, bool) {
+	v := c[dim] + dir
+	w := m.widths[dim]
+	if v < 0 || v >= w {
+		if !m.torus {
+			return nil, false
+		}
+		v = ((v % w) + w) % w
+	}
+	out := c.Clone()
+	out[dim] = v
+	return out, true
+}
+
+// ForEachNode calls fn for every node of the mesh in index order. The Coord
+// passed to fn is reused between calls; clone it if it must be retained.
+func (m *Mesh) ForEachNode(fn func(c Coord)) {
+	c := make(Coord, len(m.widths))
+	for {
+		fn(c)
+		i := 0
+		for ; i < len(c); i++ {
+			c[i]++
+			if c[i] < m.widths[i] {
+				break
+			}
+			c[i] = 0
+		}
+		if i == len(c) {
+			return
+		}
+	}
+}
+
+// String renders the mesh as, e.g., "M_3(32x32x32)" or "T_2(8x8)" for a torus.
+func (m *Mesh) String() string {
+	kind := "M"
+	if m.torus {
+		kind = "T"
+	}
+	s := fmt.Sprintf("%s_%d(", kind, len(m.widths))
+	for i, w := range m.widths {
+		if i > 0 {
+			s += "x"
+		}
+		s += fmt.Sprint(w)
+	}
+	return s + ")"
+}

@@ -1,0 +1,143 @@
+package mesh
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteFaults serializes a fault set in a line-oriented text format:
+//
+//	mesh 12x12          (or "torus 8x8")
+//	node 9,1
+//	link 1,1 0 +1       (tail coordinate, dimension, direction)
+//
+// Blank lines and lines starting with '#' are ignored on read. The format
+// is what cmd/lambfind's -fault-file consumes and -save emits, so fault
+// configurations round-trip between diagnostics runs.
+func WriteFaults(w io.Writer, f *FaultSet) error {
+	bw := bufio.NewWriter(w)
+	m := f.Mesh()
+	kind := "mesh"
+	if m.Torus() {
+		kind = "torus"
+	}
+	dims := make([]string, m.Dims())
+	for i := range dims {
+		dims[i] = strconv.Itoa(m.Width(i))
+	}
+	fmt.Fprintf(bw, "# lambmesh fault set: %d node faults, %d link faults\n",
+		f.NumNodeFaults(), f.NumLinkFaults())
+	fmt.Fprintf(bw, "%s %s\n", kind, strings.Join(dims, "x"))
+	for _, c := range f.SortedNodeFaults() {
+		fmt.Fprintf(bw, "node %s\n", strings.Trim(c.String(), "()"))
+	}
+	for _, l := range f.LinkFaults() {
+		fmt.Fprintf(bw, "link %s %d %+d\n", strings.Trim(l.From.String(), "()"), l.Dim, l.Dir)
+	}
+	return bw.Flush()
+}
+
+// ReadFaults parses the WriteFaults format, reconstructing the mesh and its
+// fault set.
+func ReadFaults(r io.Reader) (*FaultSet, error) {
+	sc := bufio.NewScanner(r)
+	var f *FaultSet
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "mesh", "torus":
+			if f != nil {
+				return nil, fmt.Errorf("mesh: line %d: duplicate mesh declaration", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("mesh: line %d: want '%s WxH...'", lineNo, fields[0])
+			}
+			widths, err := parseWidthList(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("mesh: line %d: %v", lineNo, err)
+			}
+			var m *Mesh
+			if fields[0] == "torus" {
+				m, err = NewTorus(widths...)
+			} else {
+				m, err = New(widths...)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("mesh: line %d: %v", lineNo, err)
+			}
+			f = NewFaultSet(m)
+		case "node":
+			if f == nil {
+				return nil, fmt.Errorf("mesh: line %d: node before mesh declaration", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("mesh: line %d: want 'node x,y,...'", lineNo)
+			}
+			c, err := ParseCoord(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("mesh: line %d: %v", lineNo, err)
+			}
+			if !f.Mesh().Contains(c) {
+				return nil, fmt.Errorf("mesh: line %d: node %v outside %v", lineNo, c, f.Mesh())
+			}
+			f.AddNode(c)
+		case "link":
+			if f == nil {
+				return nil, fmt.Errorf("mesh: line %d: link before mesh declaration", lineNo)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("mesh: line %d: want 'link x,y dim dir'", lineNo)
+			}
+			c, err := ParseCoord(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("mesh: line %d: %v", lineNo, err)
+			}
+			dim, err := strconv.Atoi(fields[2])
+			if err != nil || dim < 0 || dim >= f.Mesh().Dims() {
+				return nil, fmt.Errorf("mesh: line %d: bad dimension %q", lineNo, fields[2])
+			}
+			dir, err := strconv.Atoi(fields[3])
+			if err != nil || (dir != 1 && dir != -1) {
+				return nil, fmt.Errorf("mesh: line %d: bad direction %q", lineNo, fields[3])
+			}
+			if !f.Mesh().Contains(c) {
+				return nil, fmt.Errorf("mesh: line %d: link tail %v outside %v", lineNo, c, f.Mesh())
+			}
+			if _, ok := f.Mesh().Neighbor(c, dim, dir); !ok {
+				return nil, fmt.Errorf("mesh: line %d: link %v dim %d dir %d has no head", lineNo, c, dim, dir)
+			}
+			f.AddLink(Link{From: c, Dim: dim, Dir: dir})
+		default:
+			return nil, fmt.Errorf("mesh: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if f == nil {
+		return nil, fmt.Errorf("mesh: no mesh declaration found")
+	}
+	return f, nil
+}
+
+func parseWidthList(s string) ([]int, error) {
+	parts := strings.Split(s, "x")
+	widths := make([]int, len(parts))
+	for i, p := range parts {
+		w, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad width %q", p)
+		}
+		widths[i] = w
+	}
+	return widths, nil
+}

@@ -1,0 +1,99 @@
+package mesh
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestFaultRoundTrip(t *testing.T) {
+	m := MustNew(12, 12)
+	f := NewFaultSet(m)
+	f.AddNodes(C(9, 1), C(11, 6), C(10, 10))
+	f.AddLink(Link{From: C(3, 4), Dim: 1, Dir: -1})
+
+	var b strings.Builder
+	if err := WriteFaults(&b, f); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadFaults(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, b.String())
+	}
+	if g.Mesh().String() != m.String() {
+		t.Errorf("mesh %v, want %v", g.Mesh(), m)
+	}
+	if g.NumNodeFaults() != 3 || g.NumLinkFaults() != 1 {
+		t.Errorf("faults %d/%d", g.NumNodeFaults(), g.NumLinkFaults())
+	}
+	if !g.NodeFaulty(C(11, 6)) || !g.LinkFaulty(Link{From: C(3, 4), Dim: 1, Dir: -1}) {
+		t.Error("faults lost in round trip")
+	}
+}
+
+func TestFaultRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		m := MustNew(5+rng.Intn(4), 4+rng.Intn(4), 3+rng.Intn(3))
+		f := RandomNodeFaults(m, rng.Intn(8), rng)
+		RandomLinkFaults(f, rng.Intn(5), rng)
+		var b strings.Builder
+		if err := WriteFaults(&b, f); err != nil {
+			t.Fatal(err)
+		}
+		g, err := ReadFaults(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Count() != f.Count() {
+			t.Fatalf("trial %d: count %d != %d", trial, g.Count(), f.Count())
+		}
+		for _, c := range f.NodeFaults() {
+			if !g.NodeFaulty(c) {
+				t.Fatalf("trial %d: lost node %v", trial, c)
+			}
+		}
+		for _, l := range f.LinkFaults() {
+			if !g.LinkFaulty(l) {
+				t.Fatalf("trial %d: lost link %v", trial, l)
+			}
+		}
+	}
+}
+
+func TestReadTorus(t *testing.T) {
+	g, err := ReadFaults(strings.NewReader("torus 5x5\nnode 2,2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Mesh().Torus() {
+		t.Error("torus flag lost")
+	}
+}
+
+func TestReadFaultsErrors(t *testing.T) {
+	bad := []string{
+		"",                          // no mesh
+		"node 1,1\n",                // node before mesh
+		"mesh 4x4\nmesh 4x4\n",      // duplicate mesh
+		"mesh ax4\n",                // bad width
+		"mesh 4x4\nnode 9,9\n",      // out of range
+		"mesh 4x4\nnode nope\n",     // bad coord
+		"mesh 4x4\nlink 1,1 5 1\n",  // bad dim
+		"mesh 4x4\nlink 1,1 0 2\n",  // bad dir
+		"mesh 4x4\nlink 3,1 0 1\n",  // link off the edge
+		"mesh 4x4\nwhatever 1\n",    // unknown directive
+		"mesh 4x4\nlink 1,1 0\n",    // short link line
+		"mesh 4x4\nnode 1,1 2,2\n",  // extra fields
+		"mesh 4x4\nlink zz,1 0 1\n", // bad link coord
+	}
+	for _, s := range bad {
+		if _, err := ReadFaults(strings.NewReader(s)); err == nil {
+			t.Errorf("ReadFaults(%q) should fail", s)
+		}
+	}
+	// Comments and blanks are fine.
+	if _, err := ReadFaults(strings.NewReader("# hi\n\nmesh 4x4\n# c\nnode 1,1\n")); err != nil {
+		t.Errorf("comments should parse: %v", err)
+	}
+}

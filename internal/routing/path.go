@@ -1,0 +1,164 @@
+package routing
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lambmesh/internal/mesh"
+)
+
+// Path materializes the unique pi-ordered route from v to w as the full node
+// sequence, starting at v and ending at w. On a torus each segment takes the
+// minimal direction, ties toward +. The route is returned whether or not it
+// is fault-free; use Oracle.ReachOne to test validity.
+func Path(m *mesh.Mesh, pi Order, v, w mesh.Coord) []mesh.Coord {
+	path := []mesh.Coord{v.Clone()}
+	cur := v.Clone()
+	for _, dim := range pi {
+		a, b := cur[dim], w[dim]
+		if a == b {
+			continue
+		}
+		dir := 1
+		if !m.Torus() {
+			if b < a {
+				dir = -1
+			}
+		} else {
+			n := m.Width(dim)
+			dpos := ((b-a)%n + n) % n
+			if dpos > n-dpos {
+				dir = -1
+			}
+		}
+		for cur[dim] != b {
+			next, ok := m.Neighbor(cur, dim, dir)
+			if !ok {
+				panic(fmt.Sprintf("routing: route from %v to %v fell off %v", v, w, m))
+			}
+			cur = next
+			path = append(path, cur.Clone())
+		}
+	}
+	return path
+}
+
+// PathK concatenates the per-round pi_t-routes through the given
+// intermediate nodes: vias must have length k-1 for a k-round ordering. The
+// result includes every node visited, once per visit (a node may repeat if
+// rounds cross).
+func PathK(m *mesh.Mesh, orders MultiOrder, v, w mesh.Coord, vias []mesh.Coord) []mesh.Coord {
+	if len(vias) != len(orders)-1 {
+		panic(fmt.Sprintf("routing: %d-round route needs %d intermediates, got %d",
+			len(orders), len(orders)-1, len(vias)))
+	}
+	stops := make([]mesh.Coord, 0, len(orders)+1)
+	stops = append(stops, v)
+	stops = append(stops, vias...)
+	stops = append(stops, w)
+	var full []mesh.Coord
+	for t := 0; t < len(orders); t++ {
+		seg := Path(m, orders[t], stops[t], stops[t+1])
+		if t > 0 {
+			seg = seg[1:] // the round's start repeats the previous round's end
+		}
+		full = append(full, seg...)
+	}
+	return full
+}
+
+// CountTurns returns the number of times the path changes direction — the
+// quantity the Blue Gene requirement (iv) of Section 1 asks to minimize. A
+// 1-round dimension-ordered route has at most d-1 turns; a k-round route at
+// most kd-1.
+func CountTurns(path []mesh.Coord) int {
+	turns := 0
+	prevDim := -1
+	for i := 1; i < len(path); i++ {
+		dim := stepDim(path[i-1], path[i])
+		if prevDim != -1 && dim != prevDim {
+			turns++
+		}
+		prevDim = dim
+	}
+	return turns
+}
+
+// PathLen returns the number of hops (links traversed) in the path.
+func PathLen(path []mesh.Coord) int { return len(path) - 1 }
+
+func stepDim(a, b mesh.Coord) int {
+	for i := range a {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// Route is a fault-free k-round route: the chosen intermediate nodes and the
+// materialized node path.
+type Route struct {
+	Vias []mesh.Coord // k-1 intermediate nodes (round handoff points)
+	Path []mesh.Coord // full node sequence from source to destination
+}
+
+// Hops returns the route length in links.
+func (r *Route) Hops() int { return PathLen(r.Path) }
+
+// Turns returns the number of direction changes on the route.
+func (r *Route) Turns() int { return CountTurns(r.Path) }
+
+// ChooseRoute picks a fault-free k-round route from v to w, using the
+// heuristic the paper suggests (Section 2.1): among feasible intermediate
+// nodes, choose one giving a shortest total route, breaking ties uniformly
+// at random (rng may be nil for deterministic first-best). Only k = 1 and
+// k = 2 are supported — the cases the paper simulates. Returns false if no
+// fault-free route exists.
+//
+// The search enumerates candidate intermediates, so it costs O(N d log f);
+// it serves traffic generation for the wormhole simulator, not the lamb
+// algorithm (which never routes).
+func ChooseRoute(o *Oracle, orders MultiOrder, v, w mesh.Coord, rng *rand.Rand) (*Route, bool) {
+	m := o.Mesh()
+	switch len(orders) {
+	case 1:
+		if !o.ReachOne(orders[0], v, w) {
+			return nil, false
+		}
+		return &Route{Path: Path(m, orders[0], v, w)}, true
+	case 2:
+		bestLen := -1
+		var best []mesh.Coord // tied best intermediates
+		m.ForEachNode(func(u mesh.Coord) {
+			if !o.ReachOne(orders[0], v, u) || !o.ReachOne(orders[1], u, w) {
+				return
+			}
+			l := v.L1(u) + u.L1(w)
+			if m.Torus() {
+				l = len(Path(m, orders[0], v, u)) + len(Path(m, orders[1], u, w)) - 2
+			}
+			switch {
+			case bestLen == -1 || l < bestLen:
+				bestLen = l
+				best = best[:0]
+				best = append(best, u.Clone())
+			case l == bestLen:
+				best = append(best, u.Clone())
+			}
+		})
+		if bestLen == -1 {
+			return nil, false
+		}
+		via := best[0]
+		if rng != nil {
+			via = best[rng.Intn(len(best))]
+		}
+		return &Route{
+			Vias: []mesh.Coord{via},
+			Path: PathK(m, orders, v, w, []mesh.Coord{via}),
+		}, true
+	default:
+		panic(fmt.Sprintf("routing: ChooseRoute supports 1 or 2 rounds, got %d", len(orders)))
+	}
+}

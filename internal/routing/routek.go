@@ -1,0 +1,97 @@
+package routing
+
+import (
+	"math/rand"
+
+	"lambmesh/internal/mesh"
+)
+
+// ChooseRouteK picks a fault-free k-round route for any k >= 1 by dynamic
+// programming over rounds: cost_t(u) is the cheapest total hop count of a
+// fault-free t-round prefix ending at u, and the intermediates are
+// recovered by backtracking (ties broken by rng when non-nil, else by
+// lowest node index). Cost is O(k N^2) reachability queries, so this
+// complements ChooseRoute (O(N) for k <= 2) for the multi-round
+// configurations the simulator explores; the lamb algorithms themselves
+// never route.
+func ChooseRouteK(o *Oracle, orders MultiOrder, v, w mesh.Coord, rng *rand.Rand) (*Route, bool) {
+	k := orders.Rounds()
+	if k <= 2 {
+		return ChooseRoute(o, orders, v, w, rng)
+	}
+	m := o.Mesh()
+	n := int(m.Nodes())
+	const inf = int(^uint(0) >> 2)
+
+	coords := make([]mesh.Coord, n)
+	for i := 0; i < n; i++ {
+		coords[i] = m.CoordOf(int64(i))
+	}
+	hopLen := func(a, b mesh.Coord) int {
+		if !m.Torus() {
+			return a.L1(b)
+		}
+		total := 0
+		for dim := range a {
+			d := b[dim] - a[dim]
+			if d < 0 {
+				d = -d
+			}
+			if wrap := m.Width(dim) - d; wrap < d {
+				d = wrap
+			}
+			total += d
+		}
+		return total
+	}
+
+	cost := make([][]int, k)   // cost[t][u]: best t+1-round... see below
+	choice := make([][]int, k) // predecessor node index
+	for t := range cost {
+		cost[t] = make([]int, n)
+		choice[t] = make([]int, n)
+		for u := range cost[t] {
+			cost[t][u] = inf
+			choice[t][u] = -1
+		}
+	}
+	// Round 1: direct pi_1 reachability from v.
+	for u := 0; u < n; u++ {
+		if o.ReachOne(orders[0], v, coords[u]) {
+			cost[0][u] = hopLen(v, coords[u])
+			choice[0][u] = -2 // from the source
+		}
+	}
+	for t := 1; t < k; t++ {
+		for u := 0; u < n; u++ {
+			for p := 0; p < n; p++ {
+				if cost[t-1][p] == inf {
+					continue
+				}
+				if !o.ReachOne(orders[t], coords[p], coords[u]) {
+					continue
+				}
+				c := cost[t-1][p] + hopLen(coords[p], coords[u])
+				if c < cost[t][u] || (c == cost[t][u] && rng != nil && rng.Intn(2) == 0) {
+					cost[t][u] = c
+					choice[t][u] = p
+				}
+			}
+		}
+	}
+	dst := int(m.Index(w))
+	if cost[k-1][dst] == inf {
+		return nil, false
+	}
+	// Backtrack the k-1 intermediates.
+	vias := make([]mesh.Coord, k-1)
+	cur := dst
+	for t := k - 1; t >= 1; t-- {
+		cur = choice[t][cur]
+		vias[t-1] = coords[cur].Clone()
+	}
+	return &Route{
+		Vias: vias,
+		Path: PathK(m, orders, v, w, vias),
+	}, true
+}

@@ -1,0 +1,143 @@
+package routing
+
+import "lambmesh/internal/mesh"
+
+// ReachableSetSweep computes, in O(d N) time, the set of nodes reachable
+// from any node of `from` by one pi-ordered round. It implements the
+// "spanning tree" alternative the paper mentions in footnote 7: because a
+// dimension-ordered route corrects one dimension at a time, the reachable
+// set after correcting dimensions pi[0..t] is obtained from the previous
+// set by a fault-aware sweep along dimension pi[t] of every line — no
+// per-pair queries. Nodes in `from` that are faulty contribute nothing.
+//
+// For k rounds, iterate: feed the result back in with the next round's
+// ordering. This is the O(k d^2 f N)-per-partition path that beats the
+// matrix method when f is large relative to N.
+//
+// Meshes only: on a torus the oracle's minimal-direction convention makes
+// per-dimension reachability depend on distance, which a sweep cannot
+// capture; the generic SEC/DEC path covers tori instead.
+func (o *Oracle) ReachableSetSweep(pi Order, from []bool) []bool {
+	m := o.m
+	if m.Torus() {
+		panic("routing: ReachableSetSweep is defined for meshes, not tori")
+	}
+	n := m.Nodes()
+	cur := make([]bool, n)
+	// Seed with the good members of from.
+	idx := int64(0)
+	m.ForEachNode(func(c mesh.Coord) {
+		if from[idx] && !o.f.NodeFaulty(c) {
+			cur[idx] = true
+		}
+		idx++
+	})
+	for _, dim := range pi {
+		cur = o.sweepDim(dim, cur)
+	}
+	return cur
+}
+
+// ReachKSetSweep is the k-round version from a single source.
+func (o *Oracle) ReachKSetSweep(orders MultiOrder, v mesh.Coord) []bool {
+	cur := make([]bool, o.m.Nodes())
+	cur[o.m.Index(v)] = true
+	for _, pi := range orders {
+		cur = o.ReachableSetSweep(pi, cur)
+	}
+	return cur
+}
+
+// sweepDim propagates reachability along one dimension of every line: a
+// node is reachable if it was already, or if its predecessor on the line is
+// and the connecting link and the node itself are good. Both directions
+// are swept; on a torus the sweeps wrap around (two passes suffice).
+func (o *Oracle) sweepDim(dim int, in []bool) []bool {
+	m := o.m
+	out := make([]bool, len(in))
+	copy(out, in)
+	width := m.Width(dim)
+	stride := int64(1)
+	for i := 0; i < dim; i++ {
+		stride *= int64(m.Width(i))
+	}
+	// Enumerate lines: iterate all nodes with coordinate dim == 0.
+	line := make([]int64, width)
+	c := make(mesh.Coord, m.Dims())
+	var walk func(d int)
+	walk = func(d int) {
+		if d == m.Dims() {
+			base := m.Index(c)
+			for x := 0; x < width; x++ {
+				line[x] = base + int64(x)*stride
+			}
+			o.sweepLine(dim, c, line, out)
+			return
+		}
+		if d == dim {
+			c[d] = 0
+			walk(d + 1)
+			return
+		}
+		for v := 0; v < m.Width(d); v++ {
+			c[d] = v
+			walk(d + 1)
+		}
+		c[d] = 0
+	}
+	walk(0)
+	return out
+}
+
+// sweepLine performs the +/- passes over one line. c has coordinate dim
+// fixed to 0 and identifies the line's profile. Fault positions come as
+// sorted slices and are consumed with two-pointer walks — no per-line
+// allocation, so a full sweep is a tight O(N + faults-on-lines) pass.
+func (o *Oracle) sweepLine(dim int, c mesh.Coord, line []int64, out []bool) {
+	width := len(line)
+	p := o.m.ProfileIndex(c, dim)
+	nodeF := o.nodeIdx[dim][p]
+	posF := o.posLink[dim][p]
+	negF := o.negLink[dim][p]
+
+	// + direction: carry into x needs the +link with tail x-1 and node x.
+	carry := false
+	ni, pi := 0, 0
+	for x := 0; x < width; x++ {
+		if ni < len(nodeF) && nodeF[ni] == x {
+			ni++
+			carry = false
+			continue
+		}
+		if carry {
+			out[line[x]] = true
+		}
+		if out[line[x]] {
+			carry = true
+		}
+		if pi < len(posF) && posF[pi] == x {
+			pi++
+			carry = false
+		}
+	}
+	// - direction: carry into x needs the -link with tail x+1.
+	carry = false
+	ni, gi := len(nodeF)-1, len(negF)-1
+	for x := width - 1; x >= 0; x-- {
+		if ni >= 0 && nodeF[ni] == x {
+			ni--
+			carry = false
+			continue
+		}
+		if carry {
+			out[line[x]] = true
+		}
+		if out[line[x]] {
+			carry = true
+		}
+		if gi >= 0 && negF[gi] == x {
+			gi--
+			carry = false
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"lambmesh/internal/mesh"
+)
+
+// The O(dN) sweep must agree exactly with the per-pair oracle on single
+// sources, for random meshes, orderings, and node+link faults.
+func TestSweepMatchesOracleSingleSource(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	shapes := [][]int{{7, 6}, {5, 5, 4}, {3, 3, 3, 3}}
+	for trial := 0; trial < 20; trial++ {
+		m := mesh.MustNew(shapes[trial%len(shapes)]...)
+		f := mesh.RandomNodeFaults(m, rng.Intn(6), rng)
+		mesh.RandomLinkFaults(f, rng.Intn(4), rng)
+		o := NewOracle(f)
+		pi := Order(rng.Perm(m.Dims()))
+		for src := 0; src < 5; src++ {
+			v := m.CoordOf(rng.Int63n(m.Nodes()))
+			from := make([]bool, m.Nodes())
+			from[m.Index(v)] = true
+			got := o.ReachableSetSweep(pi, from)
+			want := o.ReachableSetOne(pi, v)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d order %v src %v node %v: sweep %v oracle %v (faults %v links %v)",
+						trial, pi, v, m.CoordOf(int64(i)), got[i], want[i],
+						f.SortedNodeFaults(), f.LinkFaults())
+				}
+			}
+		}
+	}
+}
+
+// Set-valued input: sweep(X) must equal the union of sweeps of singletons.
+func TestSweepSetIsUnionOfSingletons(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	m := mesh.MustNew(6, 5)
+	f := mesh.RandomNodeFaults(m, 4, rng)
+	o := NewOracle(f)
+	pi := Ascending(2)
+	from := make([]bool, m.Nodes())
+	var members []mesh.Coord
+	for i := 0; i < 4; i++ {
+		c := m.CoordOf(rng.Int63n(m.Nodes()))
+		from[m.Index(c)] = true
+		members = append(members, c)
+	}
+	got := o.ReachableSetSweep(pi, from)
+	want := make([]bool, m.Nodes())
+	for _, v := range members {
+		for i, b := range o.ReachableSetOne(pi, v) {
+			if b {
+				want[i] = true
+			}
+		}
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("node %v: sweep %v union %v", m.CoordOf(int64(i)), got[i], want[i])
+		}
+	}
+}
+
+// k-round sweep equals the quadratic reference ReachKSet.
+func TestReachKSetSweepMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	m := mesh.MustNew(5, 4, 3)
+	for trial := 0; trial < 8; trial++ {
+		f := mesh.RandomNodeFaults(m, 3, rng)
+		o := NewOracle(f)
+		orders := MultiOrder{
+			Order(rng.Perm(3)),
+			Order(rng.Perm(3)),
+		}
+		v := m.CoordOf(rng.Int63n(m.Nodes()))
+		got := o.ReachKSetSweep(orders, v)
+		want := o.ReachKSet(orders, v)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d node %v: sweep %v reference %v", trial, m.CoordOf(int64(i)), got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSweepFaultySourceEmpty(t *testing.T) {
+	m := mesh.MustNew(4, 4)
+	f := mesh.NewFaultSet(m)
+	f.AddNode(mesh.C(1, 1))
+	o := NewOracle(f)
+	from := make([]bool, m.Nodes())
+	from[m.Index(mesh.C(1, 1))] = true
+	got := o.ReachableSetSweep(Ascending(2), from)
+	for i, b := range got {
+		if b {
+			t.Fatalf("faulty source reached %v", m.CoordOf(int64(i)))
+		}
+	}
+}
+
+func TestSweepTorusPanics(t *testing.T) {
+	m, _ := mesh.NewTorus(4, 4)
+	o := NewOracle(mesh.NewFaultSet(m))
+	defer func() {
+		if recover() == nil {
+			t.Error("torus sweep should panic")
+		}
+	}()
+	o.ReachableSetSweep(Ascending(2), make([]bool, m.Nodes()))
+}

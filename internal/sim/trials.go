@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"lambmesh/internal/core"
+	"lambmesh/internal/mesh"
+	"lambmesh/internal/routing"
+)
+
+// Config controls how experiments run.
+type Config struct {
+	// Trials per data point. The paper uses 1000 (10000 for the rare-lamb
+	// check of Section 3); smaller counts reproduce the same shapes much
+	// faster.
+	Trials int
+	// Seed makes every run reproducible; trial t uses Seed + t.
+	Seed int64
+	// Workers bounds trial parallelism; <= 0 means NumCPU.
+	Workers int
+}
+
+// DefaultConfig runs 100 trials on all CPUs with a fixed seed.
+func DefaultConfig() Config { return Config{Trials: 100, Seed: 1, Workers: 0} }
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.NumCPU()
+}
+
+func (c Config) trials() int {
+	if c.Trials > 0 {
+		return c.Trials
+	}
+	return 100
+}
+
+// ForEachTrial runs fn(trial, rng) for trial = 0..trials-1 on a worker
+// pool. Each trial gets its own deterministic RNG, so results do not depend
+// on scheduling.
+func ForEachTrial(cfg Config, trials int, fn func(trial int, rng *rand.Rand)) {
+	workers := cfg.workers()
+	if workers > trials {
+		workers = trials
+	}
+	if workers <= 1 {
+		for t := 0; t < trials; t++ {
+			fn(t, rand.New(rand.NewSource(cfg.Seed+int64(t))))
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range next {
+				fn(t, rand.New(rand.NewSource(cfg.Seed+int64(t))))
+			}
+		}()
+	}
+	for t := 0; t < trials; t++ {
+		next <- t
+	}
+	close(next)
+	wg.Wait()
+}
+
+// LambObservation is what one randomized trial of the lamb algorithm
+// yields — the quantities Figures 17-26 aggregate.
+type LambObservation struct {
+	Lambs   int
+	SES     int
+	DES     int
+	Seconds float64
+}
+
+// RunLambTrial draws `faults` random node faults on the mesh and runs Lamb1
+// with k rounds of ascending (e-cube) ordering, timing just the algorithm
+// (fault generation excluded, matching the paper's running-time figure).
+func RunLambTrial(m *mesh.Mesh, faults, k int, rng *rand.Rand) LambObservation {
+	fs := mesh.RandomNodeFaults(m, faults, rng)
+	start := time.Now()
+	res, err := core.Lamb1(fs, routing.UniformAscending(m.Dims(), k))
+	if err != nil {
+		panic(err) // experiment misconfiguration; inputs are validated upstream
+	}
+	return LambObservation{
+		Lambs:   res.NumLambs(),
+		SES:     res.Stats.NumSES,
+		DES:     res.Stats.NumDES,
+		Seconds: time.Since(start).Seconds(),
+	}
+}
+
+// PointStats aggregates trial observations at one sweep point.
+type PointStats struct {
+	Faults  int
+	Lambs   Agg
+	SES     Agg
+	Seconds Agg
+}
+
+// RunLambPoint runs cfg.Trials trials at a fixed fault count.
+func RunLambPoint(cfg Config, m *mesh.Mesh, faults, k int) *PointStats {
+	ps := &PointStats{Faults: faults}
+	var mu sync.Mutex
+	ForEachTrial(cfg, cfg.trials(), func(_ int, rng *rand.Rand) {
+		obs := RunLambTrial(m, faults, k, rng)
+		mu.Lock()
+		ps.Lambs.Add(float64(obs.Lambs))
+		ps.SES.Add(float64(obs.SES))
+		ps.Seconds.Add(obs.Seconds)
+		mu.Unlock()
+	})
+	return ps
+}

@@ -1,0 +1,223 @@
+// Package vcover solves weighted vertex cover (WVC) problems — the
+// combinatorial core that lamb minimization reduces to (Section 6.3 of Ho &
+// Stockmeyer, IPDPS 2002).
+//
+// Three solvers are provided, matching the paper's toolbox:
+//
+//   - SolveBipartite: exact minimum-weight vertex cover on a bipartite
+//     graph via max-flow/min-cut [Gusfield 1992], polynomial time. Used by
+//     Lamb1 (Section 6.3.1).
+//   - Approx2: the Bar-Yehuda & Even linear-time 2-approximation for
+//     general graphs [BYE 1981]. Used by Lamb2 as the fast option
+//     (Section 6.3.2).
+//   - SolveExact: branch-and-bound exact WVC for general graphs,
+//     exponential time, usable for the small instances in Corollary 6.10
+//     and in tests.
+package vcover
+
+import (
+	"fmt"
+	"sort"
+
+	"lambmesh/internal/maxflow"
+)
+
+// Bipartite is a vertex-weighted bipartite graph with p left vertices and q
+// right vertices. Weights must be positive for vertices incident to edges.
+type Bipartite struct {
+	LeftWeight  []int64
+	RightWeight []int64
+	// Edges[i] lists the right neighbors of left vertex i.
+	Edges [][]int
+}
+
+// Cover is a vertex cover of a Bipartite: which left and right vertices are
+// chosen, plus the total weight.
+type Cover struct {
+	Left   []bool
+	Right  []bool
+	Weight int64
+}
+
+// SolveBipartite returns a minimum-weight vertex cover of g, exactly, via
+// min-cut: source->left_i with capacity w(left_i), right_j->sink with
+// capacity w(right_j), and infinite-capacity edges across. A left vertex is
+// in the cover iff its source edge is cut (unreachable in the residual
+// graph); a right vertex iff its sink edge is cut (reachable).
+func SolveBipartite(g *Bipartite) *Cover {
+	p, q := len(g.LeftWeight), len(g.RightWeight)
+	fg := maxflow.New(p + q + 2)
+	src, sink := p+q, p+q+1
+	for i, w := range g.LeftWeight {
+		if w < 0 {
+			panic(fmt.Sprintf("vcover: negative weight on left %d", i))
+		}
+		fg.AddEdge(src, i, w)
+	}
+	for j, w := range g.RightWeight {
+		if w < 0 {
+			panic(fmt.Sprintf("vcover: negative weight on right %d", j))
+		}
+		fg.AddEdge(p+j, sink, w)
+	}
+	for i, ns := range g.Edges {
+		for _, j := range ns {
+			fg.AddEdge(i, p+j, maxflow.Inf)
+		}
+	}
+	fg.MaxFlow(src, sink)
+	reach := fg.ResidualReachable(src)
+	c := &Cover{Left: make([]bool, p), Right: make([]bool, q)}
+	for i := 0; i < p; i++ {
+		if !reach[i] {
+			c.Left[i] = true
+			c.Weight += g.LeftWeight[i]
+		}
+	}
+	for j := 0; j < q; j++ {
+		if reach[p+j] {
+			c.Right[j] = true
+			c.Weight += g.RightWeight[j]
+		}
+	}
+	return c
+}
+
+// Validate reports an error if c is not a vertex cover of g.
+func (g *Bipartite) Validate(c *Cover) error {
+	for i, ns := range g.Edges {
+		for _, j := range ns {
+			if !c.Left[i] && !c.Right[j] {
+				return fmt.Errorf("vcover: edge (left %d, right %d) uncovered", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// General is a vertex-weighted undirected graph given by an adjacency list.
+// Edges may appear in either or both endpoint lists; duplicates are
+// harmless.
+type General struct {
+	Weight []int64
+	Adj    [][]int
+}
+
+// edgeList returns each undirected edge once as an ordered pair.
+func (g *General) edgeList() [][2]int {
+	seen := make(map[[2]int]bool)
+	var out [][2]int
+	for u, ns := range g.Adj {
+		for _, v := range ns {
+			if u == v {
+				panic("vcover: self-loop cannot be covered meaningfully")
+			}
+			a, b := u, v
+			if a > b {
+				a, b = b, a
+			}
+			k := [2]int{a, b}
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, k)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// ValidateGeneral reports an error if pick is not a vertex cover of g.
+func (g *General) ValidateGeneral(pick []bool) error {
+	for _, e := range g.edgeList() {
+		if !pick[e[0]] && !pick[e[1]] {
+			return fmt.Errorf("vcover: edge (%d,%d) uncovered", e[0], e[1])
+		}
+	}
+	return nil
+}
+
+// WeightOf sums the weights of the picked vertices.
+func (g *General) WeightOf(pick []bool) int64 {
+	var w int64
+	for v, p := range pick {
+		if p {
+			w += g.Weight[v]
+		}
+	}
+	return w
+}
+
+// Approx2 returns a vertex cover of weight at most twice the minimum, by
+// the Bar-Yehuda & Even local-ratio rule: for each edge, pay the smaller
+// remaining weight of its endpoints against both; vertices whose weight
+// reaches zero enter the cover. Runs in time linear in the number of edges.
+func Approx2(g *General) []bool {
+	remaining := append([]int64(nil), g.Weight...)
+	pick := make([]bool, len(g.Weight))
+	for _, e := range g.edgeList() {
+		u, v := e[0], e[1]
+		if pick[u] || pick[v] {
+			continue
+		}
+		m := remaining[u]
+		if remaining[v] < m {
+			m = remaining[v]
+		}
+		remaining[u] -= m
+		remaining[v] -= m
+		if remaining[u] == 0 {
+			pick[u] = true
+		}
+		if remaining[v] == 0 && !pick[u] {
+			pick[v] = true
+		}
+	}
+	return pick
+}
+
+// SolveExact returns a minimum-weight vertex cover of g by branch and
+// bound: repeatedly pick an uncovered edge and branch on including either
+// endpoint. Exponential in the worst case; intended for instances with at
+// most a few dozen relevant vertices (Corollary 6.10 territory).
+func SolveExact(g *General) []bool {
+	edges := g.edgeList()
+	n := len(g.Weight)
+	best := make([]bool, n)
+	// Start from the trivial cover of all endpoint vertices.
+	for _, e := range edges {
+		best[e[0]] = true
+		best[e[1]] = true
+	}
+	bestW := g.WeightOf(best)
+	cur := make([]bool, n)
+	var rec func(ei int, curW int64)
+	rec = func(ei int, curW int64) {
+		if curW >= bestW {
+			return
+		}
+		// Find the next uncovered edge.
+		for ei < len(edges) && (cur[edges[ei][0]] || cur[edges[ei][1]]) {
+			ei++
+		}
+		if ei == len(edges) {
+			bestW = curW
+			copy(best, cur)
+			return
+		}
+		u, v := edges[ei][0], edges[ei][1]
+		cur[u] = true
+		rec(ei+1, curW+g.Weight[u])
+		cur[u] = false
+		cur[v] = true
+		rec(ei+1, curW+g.Weight[v])
+		cur[v] = false
+	}
+	rec(0, 0)
+	return best
+}

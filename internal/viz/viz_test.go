@@ -1,0 +1,102 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"lambmesh/internal/mesh"
+)
+
+func TestRenderBasic(t *testing.T) {
+	m := mesh.MustNew(4, 3)
+	f := mesh.NewFaultSet(m)
+	f.AddNode(mesh.C(1, 1))
+	out, err := Render(f, []mesh.Coord{mesh.C(3, 2)}, Marks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + 3 node rows + 2 edge rows.
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[3], "X") {
+		t.Errorf("fault row missing X:\n%s", out)
+	}
+	if !strings.Contains(lines[5], "L") {
+		t.Errorf("lamb row missing L:\n%s", out)
+	}
+	if strings.Count(out, "X") != 1 || strings.Count(out, "L") != 1 {
+		t.Errorf("wrong mark counts:\n%s", out)
+	}
+	if strings.Count(out, "o") != 10 {
+		t.Errorf("want 10 good nodes, got %d:\n%s", strings.Count(out, "o"), out)
+	}
+}
+
+func TestRenderLinkFaults(t *testing.T) {
+	m := mesh.MustNew(3, 3)
+	f := mesh.NewFaultSet(m)
+	f.AddLink(mesh.Link{From: mesh.C(0, 0), Dim: 0, Dir: 1})
+	f.AddLink(mesh.Link{From: mesh.C(1, 1), Dim: 1, Dir: 1})
+	out, err := Render(f, nil, Marks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "-/-") {
+		t.Errorf("broken horizontal edge missing:\n%s", out)
+	}
+	if !strings.Contains(out, "/") {
+		t.Errorf("broken vertical edge missing:\n%s", out)
+	}
+}
+
+func TestRenderExtraMarks(t *testing.T) {
+	m := mesh.MustNew(3, 3)
+	f := mesh.NewFaultSet(m)
+	f.AddNode(mesh.C(0, 0))
+	out, err := Render(f, nil, Marks{Extra: map[int64]rune{
+		m.Index(mesh.C(1, 1)): 'S',
+		m.Index(mesh.C(0, 0)): 'Q', // fault wins over extra
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "S") {
+		t.Errorf("extra mark missing:\n%s", out)
+	}
+	if strings.Contains(out, "Q") {
+		t.Errorf("fault should win over extra mark:\n%s", out)
+	}
+}
+
+func TestRenderRejectsNon2D(t *testing.T) {
+	m := mesh.MustNew(3, 3, 3)
+	if _, err := Render(mesh.NewFaultSet(m), nil, Marks{}); err == nil {
+		t.Error("3D Render should fail")
+	}
+}
+
+func TestRenderSlice(t *testing.T) {
+	m := mesh.MustNew(3, 3, 3)
+	f := mesh.NewFaultSet(m)
+	f.AddNode(mesh.C(1, 1, 2))
+	out, err := RenderSlice(f, []mesh.Coord{mesh.C(0, 0, 2)}, 0, 1, mesh.C(0, 0, 2), Marks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "X") != 1 || strings.Count(out, "L") != 1 {
+		t.Errorf("slice marks wrong:\n%s", out)
+	}
+	// A different slice hides the fault.
+	out2, err := RenderSlice(f, nil, 0, 1, mesh.C(0, 0, 0), Marks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out2, "X") {
+		t.Errorf("fault leaked into wrong slice:\n%s", out2)
+	}
+	if _, err := RenderSlice(f, nil, 1, 1, mesh.C(0, 0, 0), Marks{}); err == nil {
+		t.Error("equal dims should fail")
+	}
+}

@@ -1,0 +1,100 @@
+package wormhole
+
+import (
+	"math/rand"
+	"testing"
+
+	"lambmesh/internal/core"
+	"lambmesh/internal/mesh"
+	"lambmesh/internal/routing"
+)
+
+// The adversarial 4-worm ring has a dependency cycle with 1 shared VC, and
+// none with one VC per round — the static counterpart of the dynamic
+// deadlock tests.
+func TestDependencyCycleMatchesDeadlock(t *testing.T) {
+	o := freeOracle(3, 3)
+	m := o.Mesh()
+
+	one := NewChannelDependencies(m, ringMessages(t, o, 1))
+	if cycle, found := one.FindCycle(); !found {
+		t.Error("1-VC ring should have a dependency cycle")
+	} else if cycle == "" {
+		t.Error("cycle description empty")
+	}
+
+	two := NewChannelDependencies(m, ringMessages(t, o, 2))
+	if cycle, found := two.FindCycle(); found {
+		t.Errorf("2-VC ring should be acyclic, found %s", cycle)
+	}
+}
+
+// Theorem check (Dally & Seitz + the paper's Section 1 claim): for ANY
+// random traffic routed with k rounds on k virtual channels, the channel
+// dependency graph is acyclic — so the discipline is deadlock-free
+// independent of buffer sizes and message lengths.
+func TestKRoundsOnKVCsAlwaysAcyclic(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 12; trial++ {
+		widths := [][]int{{8, 8}, {5, 5, 5}}[trial%2]
+		m := mesh.MustNew(widths...)
+		f := mesh.RandomNodeFaults(m, 2+rng.Intn(6), rng)
+		k := 1 + rng.Intn(2)
+		orders := routing.UniformAscending(m.Dims(), k)
+		res, err := core.Lamb1(f, orders)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := routing.NewOracle(f)
+		msgs, err := GenerateTraffic(o, orders, res.Lambs, TrafficSpec{
+			Messages: 80, MinFlits: 1, MaxFlits: 8,
+		}, k, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cd := NewChannelDependencies(m, msgs)
+		if cycle, found := cd.FindCycle(); found {
+			t.Fatalf("trial %d (%v, k=%d): dependency cycle in k-VC traffic: %s", trial, m, k, cycle)
+		}
+		if cd.Channels() == 0 {
+			t.Fatalf("trial %d: no channels recorded", trial)
+		}
+	}
+}
+
+// Under-provisioned random traffic (2 rounds on 1 VC) frequently creates
+// cycles — run a few seeds and require at least one.
+func TestUnderProvisionedOftenCyclic(t *testing.T) {
+	m := mesh.MustNew(8, 8)
+	f := mesh.NewFaultSet(m)
+	orders := routing.UniformAscending(2, 2)
+	o := routing.NewOracle(f)
+	found := false
+	for seed := int64(0); seed < 5 && !found; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		msgs, err := GenerateTraffic(o, orders, nil, TrafficSpec{
+			Messages: 60, MinFlits: 1, MaxFlits: 4,
+		}, 1, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cd := NewChannelDependencies(m, msgs)
+		if _, cyc := cd.FindCycle(); cyc {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected at least one dependency cycle across seeds with 1 VC")
+	}
+}
+
+func TestEmptyDependencies(t *testing.T) {
+	m := mesh.MustNew(4, 4)
+	cd := NewChannelDependencies(m, nil)
+	if _, found := cd.FindCycle(); found {
+		t.Error("empty graph cannot have a cycle")
+	}
+	if cd.Channels() != 0 {
+		t.Error("empty graph has channels")
+	}
+}

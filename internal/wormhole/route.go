@@ -1,0 +1,206 @@
+package wormhole
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lambmesh/internal/mesh"
+	"lambmesh/internal/routing"
+)
+
+// RouteMessage builds a wormhole message from src to dst over a fault-free
+// k-round dimension-ordered route, assigning round t's hops to virtual
+// channel min(t, vcs-1). With vcs >= k this is the deadlock-free discipline
+// of the paper; with fewer VCs rounds share channels and deadlock becomes
+// possible — which is exactly what the under-provisioning experiments
+// demonstrate.
+func RouteMessage(o *routing.Oracle, orders routing.MultiOrder, src, dst mesh.Coord,
+	id, length, injectAt, vcs int, rng *rand.Rand) (*Message, error) {
+	r, ok := routing.ChooseRouteK(o, orders, src, dst, rng)
+	if !ok {
+		return nil, fmt.Errorf("wormhole: no fault-free %d-round route from %v to %v", orders.Rounds(), src, dst)
+	}
+	return MessageFromRoute(o.Mesh(), orders, r, src, dst, id, length, injectAt, vcs)
+}
+
+// MessageFromRoute converts an explicit k-round route into a message with
+// per-round virtual channels.
+func MessageFromRoute(m *mesh.Mesh, orders routing.MultiOrder, r *routing.Route,
+	src, dst mesh.Coord, id, length, injectAt, vcs int) (*Message, error) {
+	msg := &Message{
+		ID:       id,
+		Src:      src.Clone(),
+		Dst:      dst.Clone(),
+		Length:   length,
+		InjectAt: injectAt,
+	}
+	// Recover round boundaries from the stops (src, vias..., dst) and walk
+	// each round's dimension-ordered path.
+	stops := make([]mesh.Coord, 0, orders.Rounds()+1)
+	stops = append(stops, src)
+	stops = append(stops, r.Vias...)
+	stops = append(stops, dst)
+	if len(stops) != orders.Rounds()+1 {
+		return nil, fmt.Errorf("wormhole: route has %d vias for %d rounds", len(r.Vias), orders.Rounds())
+	}
+	for t := 0; t < orders.Rounds(); t++ {
+		vc := t
+		if vc >= vcs {
+			vc = vcs - 1
+		}
+		seg := routing.Path(m, orders[t], stops[t], stops[t+1])
+		for i := 1; i < len(seg); i++ {
+			link, err := linkBetween(m, seg[i-1], seg[i])
+			if err != nil {
+				return nil, err
+			}
+			msg.Hops = append(msg.Hops, Hop{Link: link, VC: vc})
+		}
+	}
+	msg.PathHops = len(msg.Hops)
+	msg.PathTurns = routing.CountTurns(r.Path)
+	return msg, nil
+}
+
+func linkBetween(m *mesh.Mesh, a, b mesh.Coord) (mesh.Link, error) {
+	for dim := range a {
+		if a[dim] == b[dim] {
+			continue
+		}
+		for _, dir := range []int{1, -1} {
+			if nb, ok := m.Neighbor(a, dim, dir); ok && nb.Equal(b) {
+				return mesh.Link{From: a.Clone(), Dim: dim, Dir: dir}, nil
+			}
+		}
+	}
+	return mesh.Link{}, fmt.Errorf("wormhole: %v and %v are not neighbors", a, b)
+}
+
+// TrafficSpec describes a random survivor-to-survivor workload.
+type TrafficSpec struct {
+	Messages int
+	MinFlits int
+	MaxFlits int
+	// InjectWindow spreads injection times uniformly over [0, InjectWindow).
+	InjectWindow int
+}
+
+// GenerateTraffic draws random (src, dst) pairs among survivor nodes (good,
+// not lambs) and routes each with the k-round discipline. Pairs with no
+// fault-free route are impossible by the lamb-set guarantee, so any routing
+// failure is reported as an error rather than skipped.
+func GenerateTraffic(o *routing.Oracle, orders routing.MultiOrder, lambs []mesh.Coord,
+	spec TrafficSpec, vcs int, rng *rand.Rand) ([]*Message, error) {
+	m := o.Mesh()
+	f := o.Faults()
+	lambIdx := make(map[int64]struct{}, len(lambs))
+	for _, c := range lambs {
+		lambIdx[m.Index(c)] = struct{}{}
+	}
+	var survivors []mesh.Coord
+	m.ForEachNode(func(c mesh.Coord) {
+		if f.NodeFaulty(c) {
+			return
+		}
+		if _, isLamb := lambIdx[m.Index(c)]; isLamb {
+			return
+		}
+		survivors = append(survivors, c.Clone())
+	})
+	if len(survivors) < 2 {
+		return nil, fmt.Errorf("wormhole: fewer than two survivors")
+	}
+	if spec.MinFlits < 1 {
+		spec.MinFlits = 1
+	}
+	if spec.MaxFlits < spec.MinFlits {
+		spec.MaxFlits = spec.MinFlits
+	}
+	msgs := make([]*Message, 0, spec.Messages)
+	for id := 0; id < spec.Messages; id++ {
+		var msg *Message
+		// With fewer VCs than rounds a random route may revisit a
+		// (link, VC) pair, which would self-deadlock; redraw the pair.
+		for attempt := 0; ; attempt++ {
+			src := survivors[rng.Intn(len(survivors))]
+			dst := survivors[rng.Intn(len(survivors))]
+			for dst.Equal(src) {
+				dst = survivors[rng.Intn(len(survivors))]
+			}
+			length := spec.MinFlits + rng.Intn(spec.MaxFlits-spec.MinFlits+1)
+			injectAt := 0
+			if spec.InjectWindow > 0 {
+				injectAt = rng.Intn(spec.InjectWindow)
+			}
+			var err error
+			msg, err = RouteMessage(o, orders, src, dst, id, length, injectAt, vcs, rng)
+			if err != nil {
+				return nil, err
+			}
+			if !hasVCReuse(m, msg) {
+				break
+			}
+			if attempt >= 50 {
+				return nil, fmt.Errorf("wormhole: could not draw a self-overlap-free route with %d VCs", vcs)
+			}
+		}
+		msgs = append(msgs, msg)
+	}
+	return msgs, nil
+}
+
+// hasVCReuse reports whether the message visits any (link, VC) twice.
+func hasVCReuse(m *mesh.Mesh, msg *Message) bool {
+	seen := make(map[vcKey]bool, len(msg.Hops))
+	for _, h := range msg.Hops {
+		k := vcKey{from: m.Index(h.Link.From), dim: h.Link.Dim, dir: h.Link.Dir, vc: h.VC}
+		if seen[k] {
+			return true
+		}
+		seen[k] = true
+	}
+	return false
+}
+
+// SummaryStats aggregates a finished simulation.
+type SummaryStats struct {
+	Messages   int
+	Delivered  int
+	Cycles     int
+	Deadlocked bool
+	AvgLatency float64
+	MaxLatency int
+	AvgHops    float64
+	AvgTurns   float64
+	MaxTurns   int
+}
+
+// Summarize collects delivery statistics from a network after Run.
+func Summarize(n *Network) SummaryStats {
+	s := SummaryStats{Messages: len(n.msgs), Cycles: n.Cycles, Deadlocked: n.Deadlocked}
+	var latSum, hopSum, turnSum float64
+	for _, m := range n.msgs {
+		hopSum += float64(m.PathHops)
+		turnSum += float64(m.PathTurns)
+		if m.PathTurns > s.MaxTurns {
+			s.MaxTurns = m.PathTurns
+		}
+		if !m.Delivered {
+			continue
+		}
+		s.Delivered++
+		lat := m.Latency()
+		latSum += float64(lat)
+		if lat > s.MaxLatency {
+			s.MaxLatency = lat
+		}
+	}
+	if s.Delivered > 0 {
+		s.AvgLatency = latSum / float64(s.Delivered)
+	}
+	if s.Messages > 0 {
+		s.AvgHops = hopSum / float64(s.Messages)
+		s.AvgTurns = turnSum / float64(s.Messages)
+	}
+	return s
+}

@@ -1,0 +1,359 @@
+// Package wormhole is a flit-level, cycle-based simulator of wormhole
+// routing on faulty meshes — the machine model the lamb method of Ho &
+// Stockmeyer (IPDPS 2002) is designed for.
+//
+// Messages are divided into flits that follow the head flit in a pipeline;
+// when the head blocks, the worm stalls in place across several routers
+// (Dally & Seitz [8]). Each directed physical link carries one flit per
+// cycle and multiplexes a configurable number of virtual channels, each
+// with its own small FIFO buffer. Routes are k-round dimension-ordered:
+// round t's hops use virtual channel t, which is exactly the discipline
+// that makes k-round routing deadlock-free. Running the same traffic with
+// fewer virtual channels than rounds demonstrates the deadlocks the scheme
+// exists to prevent; the simulator detects them with a stall watchdog.
+package wormhole
+
+import (
+	"fmt"
+
+	"lambmesh/internal/mesh"
+)
+
+// Config sets the router microarchitecture.
+type Config struct {
+	// VirtualChannels per directed physical link. The paper's Blue Gene
+	// constraint is 2 (requirement iii of Section 1).
+	VirtualChannels int
+	// BufferDepth is the per-VC FIFO capacity in flits.
+	BufferDepth int
+	// StallCycles without any flit movement before declaring deadlock.
+	StallCycles int
+	// MaxCycles hard-stops the simulation.
+	MaxCycles int
+}
+
+// DefaultConfig: 2 VCs, 2-flit buffers, generous watchdog.
+func DefaultConfig() Config {
+	return Config{VirtualChannels: 2, BufferDepth: 2, StallCycles: 1000, MaxCycles: 1_000_000}
+}
+
+// Hop is one link traversal on a message route, with the virtual channel it
+// uses (the round number, clamped to the available VCs).
+type Hop struct {
+	Link mesh.Link
+	VC   int
+}
+
+// Message is a wormhole packet.
+type Message struct {
+	ID       int
+	Src, Dst mesh.Coord
+	Length   int // flits
+	InjectAt int // earliest injection cycle
+	Hops     []Hop
+
+	// Results, valid after Run.
+	Delivered   bool
+	DoneCycle   int
+	StartCycle  int // cycle the head flit entered the network
+	PathTurns   int
+	PathHops    int
+	remaining   int   // flits still at the source
+	ejected     int   // flits consumed at the destination
+	buf         []int // flits currently in each hop's buffer
+	headHop     int   // furthest hop the head has entered; -1 before injection
+	injectedAny bool
+}
+
+// Latency returns delivery latency in cycles (delivery - earliest inject).
+func (m *Message) Latency() int { return m.DoneCycle - m.InjectAt }
+
+// vcKey identifies one virtual channel of one directed physical link.
+type vcKey struct {
+	from int64
+	dim  int
+	dir  int
+	vc   int
+}
+
+type vcState struct {
+	owner int // message ID, or -1
+	flits int
+}
+
+type chanKey struct {
+	from int64
+	dim  int
+	dir  int
+}
+
+// Network simulates a set of messages over a faulty mesh.
+type Network struct {
+	cfg    Config
+	m      *mesh.Mesh
+	faults *mesh.FaultSet
+	msgs   []*Message
+
+	vcs      map[vcKey]*vcState
+	chanUsed map[chanKey]bool
+	busy     map[chanKey]int // cycles each physical channel carried a flit
+
+	// Result summary, valid after Run.
+	Cycles     int
+	Deadlocked bool
+	MovesTotal int
+}
+
+// NewNetwork creates a simulator over the faulty mesh for the given
+// messages. Message routes must already avoid faults (build them with
+// RouteMessage); the constructor rejects routes through faults and routes
+// that reuse a (link, VC) pair, which would self-deadlock in hardware.
+func NewNetwork(f *mesh.FaultSet, cfg Config, msgs []*Message) (*Network, error) {
+	if cfg.VirtualChannels < 1 || cfg.BufferDepth < 1 {
+		return nil, fmt.Errorf("wormhole: need at least 1 VC and 1-flit buffers")
+	}
+	if cfg.StallCycles < 1 {
+		cfg.StallCycles = 1000
+	}
+	if cfg.MaxCycles < 1 {
+		cfg.MaxCycles = 1_000_000
+	}
+	n := &Network{
+		cfg:      cfg,
+		m:        f.Mesh(),
+		faults:   f,
+		msgs:     msgs,
+		vcs:      make(map[vcKey]*vcState),
+		chanUsed: make(map[chanKey]bool),
+		busy:     make(map[chanKey]int),
+	}
+	for _, msg := range msgs {
+		if msg.Length < 1 {
+			return nil, fmt.Errorf("wormhole: message %d has no flits", msg.ID)
+		}
+		seen := make(map[vcKey]bool, len(msg.Hops))
+		for _, h := range msg.Hops {
+			if h.VC < 0 || h.VC >= cfg.VirtualChannels {
+				return nil, fmt.Errorf("wormhole: message %d uses VC %d of %d", msg.ID, h.VC, cfg.VirtualChannels)
+			}
+			if !f.Usable(h.Link) {
+				return nil, fmt.Errorf("wormhole: message %d routed over unusable link %v", msg.ID, h.Link)
+			}
+			k := n.key(h)
+			if seen[k] {
+				return nil, fmt.Errorf("wormhole: message %d reuses link %v on VC %d (self-deadlock)", msg.ID, h.Link, h.VC)
+			}
+			seen[k] = true
+		}
+		msg.remaining = msg.Length
+		msg.headHop = -1
+		msg.buf = make([]int, len(msg.Hops))
+	}
+	return n, nil
+}
+
+func (n *Network) key(h Hop) vcKey {
+	return vcKey{from: n.m.Index(h.Link.From), dim: h.Link.Dim, dir: h.Link.Dir, vc: h.VC}
+}
+
+func (n *Network) vc(h Hop) *vcState {
+	k := n.key(h)
+	st, ok := n.vcs[k]
+	if !ok {
+		st = &vcState{owner: -1}
+		n.vcs[k] = st
+	}
+	return st
+}
+
+func (n *Network) channelFree(h Hop) bool {
+	return !n.chanUsed[chanKey{from: n.m.Index(h.Link.From), dim: h.Link.Dim, dir: h.Link.Dir}]
+}
+
+func (n *Network) useChannel(h Hop) {
+	k := chanKey{from: n.m.Index(h.Link.From), dim: h.Link.Dim, dir: h.Link.Dir}
+	n.chanUsed[k] = true
+	n.busy[k]++
+}
+
+// LinkUtilization returns the mean and maximum fraction of cycles that the
+// physical channels touched by the workload spent carrying flits — the
+// congestion signal behind the Section 2.1 intermediate-choice heuristic.
+func (n *Network) LinkUtilization() (mean, max float64) {
+	if n.Cycles == 0 || len(n.busy) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, b := range n.busy {
+		u := float64(b) / float64(n.Cycles)
+		sum += u
+		if u > max {
+			max = u
+		}
+	}
+	return sum / float64(len(n.busy)), max
+}
+
+// Run simulates until every message is delivered, a deadlock is detected,
+// or MaxCycles elapse. It returns an error only for malformed setups;
+// deadlock is reported via the Deadlocked field (it is an expected outcome
+// of under-provisioned configurations).
+func (n *Network) Run() error {
+	active := len(n.msgs)
+	for _, m := range n.msgs {
+		if len(m.Hops) == 0 {
+			// Degenerate self-delivery: no network involvement.
+			m.Delivered = true
+			m.DoneCycle = m.InjectAt
+			m.StartCycle = m.InjectAt
+			active--
+		}
+	}
+	stall := 0
+	for cycle := 0; active > 0 && cycle < n.cfg.MaxCycles; cycle++ {
+		moves := n.step(cycle)
+		n.MovesTotal += moves
+		n.Cycles = cycle + 1
+		if moves == 0 && n.anyRunnable(cycle) {
+			stall++
+			if stall >= n.cfg.StallCycles {
+				n.Deadlocked = true
+				return nil
+			}
+		} else {
+			stall = 0
+		}
+		for _, m := range n.msgs {
+			if !m.Delivered && m.ejected == m.Length {
+				m.Delivered = true
+				m.DoneCycle = cycle
+				active--
+			}
+		}
+	}
+	return nil
+}
+
+// anyRunnable reports whether some undelivered message has been released
+// (so a zero-move cycle indicates contention, not an empty future).
+func (n *Network) anyRunnable(cycle int) bool {
+	for _, m := range n.msgs {
+		if !m.Delivered && len(m.Hops) > 0 && m.InjectAt <= cycle && m.ejected < m.Length {
+			return true
+		}
+	}
+	return false
+}
+
+// step advances one cycle and returns the number of flit movements.
+// Messages are served in an order rotated by cycle for long-run fairness;
+// within a message, flits advance head-first so a pipeline compresses and
+// refills like hardware.
+func (n *Network) step(cycle int) int {
+	for k := range n.chanUsed {
+		delete(n.chanUsed, k)
+	}
+	moves := 0
+	count := len(n.msgs)
+	for off := 0; off < count; off++ {
+		m := n.msgs[(off+cycle)%count]
+		if m.Delivered || len(m.Hops) == 0 || m.InjectAt > cycle {
+			continue
+		}
+		moves += n.stepMessage(m, cycle)
+	}
+	return moves
+}
+
+func (n *Network) stepMessage(m *Message, cycle int) int {
+	moves := 0
+	last := len(m.Hops) - 1
+
+	// Ejection: the destination consumes one flit per cycle.
+	if m.buf[last] > 0 {
+		m.buf[last]--
+		n.vc(m.Hops[last]).flits--
+		m.ejected++
+		moves++
+		n.maybeRelease(m, last)
+	}
+
+	// Advance in-network flits head-first.
+	for i := minInt(m.headHop, last-1); i >= 0; i-- {
+		if m.buf[i] == 0 {
+			continue
+		}
+		next := m.Hops[i+1]
+		st := n.vc(next)
+		isHead := i == m.headHop
+		if isHead {
+			if st.owner != -1 && st.owner != m.ID {
+				continue
+			}
+		} else if st.owner != m.ID {
+			continue
+		}
+		if st.flits >= n.cfg.BufferDepth || !n.channelFree(next) {
+			continue
+		}
+		st.owner = m.ID
+		st.flits++
+		m.buf[i+1]++
+		m.buf[i]--
+		n.vc(m.Hops[i]).flits--
+		n.useChannel(next)
+		if isHead {
+			m.headHop = i + 1
+		}
+		moves++
+		n.maybeRelease(m, i)
+	}
+
+	// Injection of the next flit from the source into hop 0.
+	if m.remaining > 0 {
+		first := m.Hops[0]
+		st := n.vc(first)
+		ok := st.owner == m.ID || (st.owner == -1 && !m.injectedAny)
+		if ok && st.flits < n.cfg.BufferDepth && n.channelFree(first) {
+			st.owner = m.ID
+			st.flits++
+			m.buf[0]++
+			m.remaining--
+			n.useChannel(first)
+			if !m.injectedAny {
+				m.injectedAny = true
+				m.headHop = 0
+				m.StartCycle = cycle
+			}
+			moves++
+		}
+	}
+	return moves
+}
+
+// maybeRelease frees the VC at hop i once the tail has passed it: the
+// buffer is empty and no more of the message's flits can arrive there.
+func (n *Network) maybeRelease(m *Message, i int) {
+	if m.buf[i] != 0 {
+		return
+	}
+	if m.remaining > 0 {
+		return
+	}
+	for j := 0; j < i; j++ {
+		if m.buf[j] > 0 {
+			return
+		}
+	}
+	st := n.vc(m.Hops[i])
+	if st.owner == m.ID && st.flits == 0 {
+		st.owner = -1
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
