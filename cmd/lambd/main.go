@@ -1,0 +1,389 @@
+// Command lambd runs the lambmesh route control plane: a daemon that owns
+// the roll-back/reconfigure loop (paper Section 1) and serves route
+// queries over HTTP/JSON while fault reports stream in. It also bundles a
+// small client for each endpoint.
+//
+// Usage:
+//
+//	lambd serve  -addr :8080 -mesh 16x16 -k 2 [-keep-lambs] [-load faults.txt]
+//	lambd route  -addr http://host:8080 -src 0,0 -dst 5,5
+//	lambd faults -addr http://host:8080 [-nodes "(3,3);(4,4)"] [-links "(1,1),0,+1"] [-file faults.txt]
+//	lambd config -addr http://host:8080
+//	lambd metrics -addr http://host:8080
+//
+// Fault files use the lambmesh fault format (lambmesh.WriteFaults); the
+// "faults" subcommand's -file reports a file's faults to a running daemon,
+// while serve's -load seeds the daemon with them at startup.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"lambmesh"
+	"lambmesh/internal/server"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	cmd, rest := args[0], args[1:]
+	var err error
+	switch cmd {
+	case "serve":
+		err = cmdServe(rest, stdout, stderr)
+	case "route":
+		err = cmdRoute(rest, stdout)
+	case "faults":
+		err = cmdFaults(rest, stdout)
+	case "config":
+		err = cmdConfig(rest, stdout)
+	case "metrics":
+		err = cmdMetrics(rest, stdout)
+	case "help", "-h", "--help":
+		usage(stdout)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "lambd: unknown subcommand %q\n", cmd)
+		usage(stderr)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "lambd:", err)
+		return 1
+	}
+	return 0
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: lambd <subcommand> [flags]
+
+subcommands:
+  serve    run the route control plane daemon
+  route    query a running daemon for a k-round route
+  faults   report newly detected faults to a running daemon
+  config   show a running daemon's live epoch
+  metrics  dump a running daemon's /metrics page
+
+run 'lambd <subcommand> -h' for flags.`)
+}
+
+// newServerFromFlags assembles the daemon from serve's flag values.
+// Factored out of cmdServe so tests can build (and close) a server
+// without binding a listener.
+func newServerFromFlags(meshSpec string, k int, keepLambs bool, loadPath string) (*server.Server, error) {
+	var initial *lambmesh.FaultSet
+	var m *lambmesh.Mesh
+	if loadPath != "" {
+		fh, err := os.Open(loadPath)
+		if err != nil {
+			return nil, err
+		}
+		initial, err = lambmesh.ReadFaults(fh)
+		fh.Close()
+		if err != nil {
+			return nil, err
+		}
+		m = initial.Mesh()
+	} else {
+		widths, err := parseWidths(meshSpec)
+		if err != nil {
+			return nil, err
+		}
+		m, err = lambmesh.NewMesh(widths...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return server.New(server.Config{
+		Mesh:          m,
+		Orders:        lambmesh.UniformAscending(m.Dims(), k),
+		KeepLambs:     keepLambs,
+		InitialFaults: initial,
+	})
+}
+
+func cmdServe(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", ":8080", "listen address")
+		meshSpec  = fs.String("mesh", "16x16", "mesh widths, e.g. 16x16 or 32x32x32")
+		k         = fs.Int("k", 2, "routing rounds (virtual channels)")
+		keepLambs = fs.Bool("keep-lambs", false, "lamb sets only grow across generations")
+		load      = fs.String("load", "", "seed faults from a lambmesh fault file (overrides -mesh)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := newServerFromFlags(*meshSpec, *k, *keepLambs, *load)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	s.PublishExpvar()
+	e := s.Epoch()
+	fmt.Fprintf(stdout, "lambd: serving %v (k=%d, generation %d, %d faults, %d lambs) on %s\n",
+		s.Mesh(), *k, e.Generation, e.Faults.Count(), len(e.Lambs), *addr)
+	return http.ListenAndServe(*addr, s.Handler())
+}
+
+func cmdRoute(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("route", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "http://localhost:8080", "daemon base URL")
+		src     = fs.String("src", "", "source coordinate, e.g. 0,0")
+		dst     = fs.String("dst", "", "destination coordinate")
+		rawJSON = fs.Bool("json", false, "print the raw JSON response")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *src == "" || *dst == "" {
+		return fmt.Errorf("route: -src and -dst are required")
+	}
+	var resp server.RouteResponse
+	raw, err := postJSON(*addr+"/v1/route", server.RouteRequest{Src: *src, Dst: *dst}, &resp)
+	if err != nil {
+		return err
+	}
+	if *rawJSON {
+		fmt.Fprintln(stdout, string(raw))
+		return nil
+	}
+	if !resp.Found {
+		fmt.Fprintf(stdout, "no route (generation %d): %s\n", resp.Generation, resp.Reason)
+		return nil
+	}
+	cached := ""
+	if resp.Cached {
+		cached = ", cached"
+	}
+	fmt.Fprintf(stdout, "%s -> %s: %d hops, %d turns, vias %s (generation %d%s)\n",
+		resp.Src, resp.Dst, resp.Hops, resp.Turns, strings.Join(resp.Vias, " "), resp.Generation, cached)
+	fmt.Fprintln(stdout, strings.Join(resp.Path, " "))
+	return nil
+}
+
+func cmdFaults(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("faults", flag.ContinueOnError)
+	var (
+		addr  = fs.String("addr", "http://localhost:8080", "daemon base URL")
+		nodes = fs.String("nodes", "", "semicolon-separated node faults, e.g. \"(3,3);(4,4)\"")
+		links = fs.String("links", "", "semicolon-separated link faults as \"(x,y),dim,dir\"")
+		file  = fs.String("file", "", "report every fault in a lambmesh fault file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	report, err := buildFaultReport(*nodes, *links, *file)
+	if err != nil {
+		return err
+	}
+	if len(report.Nodes)+len(report.Links) == 0 {
+		return fmt.Errorf("faults: nothing to report (use -nodes, -links, or -file)")
+	}
+	var ack server.FaultAck
+	if _, err := postJSON(*addr+"/v1/faults", report, &ack); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "accepted %d faults at generation %d; poll 'lambd config' for the swap\n",
+		ack.Accepted, ack.Generation)
+	return nil
+}
+
+// buildFaultReport merges inline node/link specs and a fault file into one
+// wire-format report.
+func buildFaultReport(nodes, links, file string) (server.FaultReport, error) {
+	var report server.FaultReport
+	for _, spec := range splitSpecs(nodes) {
+		if _, err := lambmesh.ParseCoord(spec); err != nil {
+			return report, fmt.Errorf("node %q: %v", spec, err)
+		}
+		report.Nodes = append(report.Nodes, spec)
+	}
+	for _, spec := range splitSpecs(links) {
+		lr, err := parseLinkSpec(spec)
+		if err != nil {
+			return report, err
+		}
+		report.Links = append(report.Links, lr)
+	}
+	if file != "" {
+		fh, err := os.Open(file)
+		if err != nil {
+			return report, err
+		}
+		f, err := lambmesh.ReadFaults(fh)
+		fh.Close()
+		if err != nil {
+			return report, err
+		}
+		for _, c := range f.SortedNodeFaults() {
+			report.Nodes = append(report.Nodes, c.String())
+		}
+		for _, l := range f.LinkFaults() {
+			report.Links = append(report.Links, server.LinkReport{
+				From: l.From.String(), Dim: l.Dim, Dir: l.Dir,
+			})
+		}
+	}
+	return report, nil
+}
+
+// parseLinkSpec parses "(x,y),dim,dir" (dir is +1/-1; "+" and "-" work).
+func parseLinkSpec(spec string) (server.LinkReport, error) {
+	var lr server.LinkReport
+	open := strings.LastIndex(spec, ")")
+	if !strings.HasPrefix(spec, "(") || open < 0 {
+		return lr, fmt.Errorf("link %q: want \"(x,y),dim,dir\"", spec)
+	}
+	coord := spec[:open+1]
+	if _, err := lambmesh.ParseCoord(coord); err != nil {
+		return lr, fmt.Errorf("link %q: %v", spec, err)
+	}
+	rest := strings.TrimPrefix(spec[open+1:], ",")
+	parts := strings.Split(rest, ",")
+	if len(parts) != 2 {
+		return lr, fmt.Errorf("link %q: want \"(x,y),dim,dir\"", spec)
+	}
+	dim, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return lr, fmt.Errorf("link %q: bad dimension: %v", spec, err)
+	}
+	dirStr := strings.TrimSpace(parts[1])
+	var dir int
+	switch dirStr {
+	case "+", "+1", "1":
+		dir = 1
+	case "-", "-1":
+		dir = -1
+	default:
+		return lr, fmt.Errorf("link %q: bad direction %q", spec, dirStr)
+	}
+	return server.LinkReport{From: coord, Dim: dim, Dir: dir}, nil
+}
+
+func splitSpecs(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ";") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func cmdConfig(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("config", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "http://localhost:8080", "daemon base URL")
+		rawJSON = fs.Bool("json", false, "print the raw JSON response")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var cfg server.ConfigResponse
+	raw, err := getJSON(*addr+"/v1/config", &cfg)
+	if err != nil {
+		return err
+	}
+	if *rawJSON {
+		fmt.Fprintln(stdout, string(raw))
+		return nil
+	}
+	kind := "mesh"
+	if cfg.Torus {
+		kind = "torus"
+	}
+	fmt.Fprintf(stdout, "%s %s, orders %s, generation %d (epoch age %.1fs)\n",
+		kind, cfg.Mesh, cfg.Orders, cfg.Generation, cfg.EpochAgeSeconds)
+	fmt.Fprintf(stdout, "faults: %d nodes, %d links; lambs: %d; survivors: %d\n",
+		len(cfg.NodeFaults), len(cfg.LinkFaults), len(cfg.Lambs), cfg.Survivors)
+	if len(cfg.Lambs) > 0 {
+		fmt.Fprintln(stdout, "lambs:", strings.Join(cfg.Lambs, " "))
+	}
+	if cfg.LastError != "" {
+		fmt.Fprintln(stdout, "last recompute error:", cfg.LastError)
+	}
+	return nil
+}
+
+func cmdMetrics(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("metrics", flag.ContinueOnError)
+	addr := fs.String("addr", "http://localhost:8080", "daemon base URL")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	resp, err := http.Get(*addr + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(stdout, resp.Body)
+	return err
+}
+
+func parseWidths(s string) ([]int, error) {
+	parts := strings.Split(s, "x")
+	widths := make([]int, len(parts))
+	for i, p := range parts {
+		w, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad mesh spec %q: %v", s, err)
+		}
+		widths[i] = w
+	}
+	return widths, nil
+}
+
+// postJSON posts v and decodes the response into out, returning the raw
+// body. Non-2xx responses surface the server's JSON error message.
+func postJSON(url string, v, out any) ([]byte, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	return handleResponse(resp, out)
+}
+
+func getJSON(url string, out any) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	return handleResponse(resp, out)
+}
+
+func handleResponse(resp *http.Response, out any) ([]byte, error) {
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 400 {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &eb) == nil && eb.Error != "" {
+			return raw, fmt.Errorf("server: %s (HTTP %d)", eb.Error, resp.StatusCode)
+		}
+		return raw, fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	return raw, json.Unmarshal(raw, out)
+}

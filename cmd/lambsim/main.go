@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -31,39 +32,22 @@ func main() {
 		format  = flag.String("format", "text", "output format: text | md | csv")
 	)
 	flag.Parse()
-	render := func(t *sim.Table) string { return t.Render() }
-	switch *format {
-	case "text":
-	case "md":
-		render = func(t *sim.Table) string { return t.Markdown() }
-	case "csv":
-		render = func(t *sim.Table) string { return t.CSV() }
-	default:
-		fmt.Fprintf(os.Stderr, "lambsim: unknown -format %q\n", *format)
+	render, err := rendererFor(*format)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lambsim: %v\n", err)
 		os.Exit(2)
 	}
 
 	if *list {
-		for _, e := range sim.Registry() {
-			fmt.Printf("%-14s %s\n", e.ID, e.Title)
-		}
+		listExperiments(os.Stdout)
 		return
 	}
 
 	cfg := sim.Config{Trials: *trials, Seed: *seed, Workers: *workers}
-	var selected []sim.Experiment
-	if *expFlag == "all" {
-		selected = sim.Registry()
-	} else {
-		for _, id := range strings.Split(*expFlag, ",") {
-			id = strings.TrimSpace(id)
-			e, ok := sim.Lookup(id)
-			if !ok {
-				fmt.Fprintf(os.Stderr, "lambsim: unknown experiment %q (use -list)\n", id)
-				os.Exit(2)
-			}
-			selected = append(selected, e)
-		}
+	selected, err := selectExperiments(*expFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lambsim: %v\n", err)
+		os.Exit(2)
 	}
 
 	for _, e := range selected {
@@ -74,4 +58,43 @@ func main() {
 			fmt.Printf("(%s finished in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
 		}
 	}
+}
+
+// rendererFor maps a -format value to a table renderer.
+func rendererFor(format string) (func(*sim.Table) string, error) {
+	switch format {
+	case "text":
+		return func(t *sim.Table) string { return t.Render() }, nil
+	case "md":
+		return func(t *sim.Table) string { return t.Markdown() }, nil
+	case "csv":
+		return func(t *sim.Table) string { return t.CSV() }, nil
+	default:
+		return nil, fmt.Errorf("unknown -format %q", format)
+	}
+}
+
+// listExperiments writes the -list output: one id and title per line.
+func listExperiments(w io.Writer) {
+	for _, e := range sim.Registry() {
+		fmt.Fprintf(w, "%-14s %s\n", e.ID, e.Title)
+	}
+}
+
+// selectExperiments resolves a -exp value ("all" or comma-separated ids)
+// against the registry.
+func selectExperiments(expFlag string) ([]sim.Experiment, error) {
+	if expFlag == "all" {
+		return sim.Registry(), nil
+	}
+	var selected []sim.Experiment
+	for _, id := range strings.Split(expFlag, ",") {
+		id = strings.TrimSpace(id)
+		e, ok := sim.Lookup(id)
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q (use -list)", id)
+		}
+		selected = append(selected, e)
+	}
+	return selected, nil
 }

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"lambmesh/internal/sim"
+)
+
+func sampleTable() *sim.Table {
+	t := &sim.Table{ID: "t", Title: "sample", Columns: []string{"a", "b"}}
+	t.AddRow("1", "2")
+	return t
+}
+
+func TestRendererFor(t *testing.T) {
+	tab := sampleTable()
+	text, err := rendererFor("text")
+	if err != nil || !strings.Contains(text(tab), "sample") {
+		t.Errorf("text renderer: %v", err)
+	}
+	md, err := rendererFor("md")
+	if err != nil || !strings.Contains(md(tab), "| a | b |") {
+		t.Errorf("md renderer (%v): %q", err, md(tab))
+	}
+	csv, err := rendererFor("csv")
+	if err != nil || !strings.Contains(csv(tab), "a,b") {
+		t.Errorf("csv renderer (%v): %q", err, csv(tab))
+	}
+	if _, err := rendererFor("yaml"); err == nil || !strings.Contains(err.Error(), "unknown -format") {
+		t.Errorf("unknown format: %v", err)
+	}
+}
+
+func TestListExperiments(t *testing.T) {
+	var b strings.Builder
+	listExperiments(&b)
+	out := b.String()
+	lines := strings.Count(out, "\n")
+	if lines != len(sim.Registry()) {
+		t.Errorf("listed %d lines, registry has %d", lines, len(sim.Registry()))
+	}
+	for _, id := range []string{"table1", "fig18", "abl-rounds"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("-list output missing %q:\n%s", id, out)
+		}
+	}
+}
+
+func TestSelectExperiments(t *testing.T) {
+	all, err := selectExperiments("all")
+	if err != nil || len(all) != len(sim.Registry()) {
+		t.Fatalf("all: %d experiments, %v", len(all), err)
+	}
+	got, err := selectExperiments("table1, sec5lamb")
+	if err != nil || len(got) != 2 || got[0].ID != "table1" || got[1].ID != "sec5lamb" {
+		t.Errorf("pair select: %v %v", got, err)
+	}
+	if _, err := selectExperiments("nope"); err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("unknown id: %v", err)
+	}
+	if _, err := selectExperiments("table1,nope"); err == nil {
+		t.Error("mixed good/bad ids should fail")
+	}
+}

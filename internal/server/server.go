@@ -1,0 +1,270 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lambmesh/internal/core"
+	"lambmesh/internal/mesh"
+	"lambmesh/internal/routing"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	Mesh   *mesh.Mesh
+	Orders routing.MultiOrder
+	// KeepLambs forces monotone lamb sets across generations (Section 7
+	// predetermined-lamb extension).
+	KeepLambs bool
+	// InitialFaults seeds generation 1 with already-known faults. May be
+	// nil. The set is copied; the caller keeps ownership.
+	InitialFaults *mesh.FaultSet
+}
+
+// Server is the route control plane. The live configuration is an *Epoch
+// behind an atomic pointer; see the package comment for the swap protocol.
+//
+// Ownership rules that make the data race-free:
+//   - epoch: readers atomically load; only the worker stores.
+//   - recon (the Reconfigurer and its evolving fault set): touched only by
+//     the worker goroutine, never by handlers.
+//   - pending fault reports: guarded by mu; handlers append, the worker
+//     drains.
+type Server struct {
+	orders  routing.MultiOrder
+	mesh    *mesh.Mesh
+	metrics Metrics
+
+	epoch atomic.Pointer[Epoch]
+
+	mu       sync.Mutex
+	recon    *core.Reconfigurer
+	pendingN []mesh.Coord
+	pendingL []mesh.Link
+	lastErr  string // last recompute failure, surfaced in /v1/config
+
+	kick chan struct{} // capacity 1: wake the worker
+	quit chan struct{}
+	done chan struct{}
+
+	// testHookPrePublish, when set, runs in the worker after a recompute
+	// finishes but before the new epoch is published. Tests use it to
+	// observe that queries keep serving the old epoch mid-swap.
+	testHookPrePublish func()
+}
+
+// New builds and starts a server. The background recompute worker runs
+// until Close. If cfg.InitialFaults is non-empty, generation 1 (with its
+// lamb set) is computed synchronously before New returns, so the first
+// query already sees it.
+func New(cfg Config) (*Server, error) {
+	if cfg.Mesh == nil {
+		return nil, fmt.Errorf("server: nil mesh")
+	}
+	recon, err := core.NewReconfigurer(cfg.Mesh, cfg.Orders, cfg.KeepLambs)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		orders: cfg.Orders,
+		mesh:   cfg.Mesh,
+		recon:  recon,
+		kick:   make(chan struct{}, 1),
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	// Generation 0: the pristine mesh, no faults, no lambs.
+	s.epoch.Store(newEpoch(mesh.NewFaultSet(cfg.Mesh), nil, 0, time.Now()))
+	if cfg.InitialFaults != nil && cfg.InitialFaults.Count() > 0 {
+		nodes := append([]mesh.Coord(nil), cfg.InitialFaults.NodeFaults()...)
+		links := append([]mesh.Link(nil), cfg.InitialFaults.LinkFaults()...)
+		if err := s.recompute(nodes, links); err != nil {
+			return nil, fmt.Errorf("server: initial lamb computation: %w", err)
+		}
+	}
+	go s.worker()
+	return s, nil
+}
+
+// Close stops the background worker and waits for it to exit. Pending
+// fault reports that have not started recomputing are dropped.
+func (s *Server) Close() {
+	close(s.quit)
+	<-s.done
+}
+
+// Epoch returns the live configuration. The result is immutable; callers
+// may hold it as long as they like (superseded epochs simply become
+// garbage once the last reader drops them).
+func (s *Server) Epoch() *Epoch { return s.epoch.Load() }
+
+// Metrics returns the server's counter set.
+func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// Mesh returns the (immutable) topology the server routes on.
+func (s *Server) Mesh() *mesh.Mesh { return s.mesh }
+
+// Orders returns the k-round dimension ordering in force.
+func (s *Server) Orders() routing.MultiOrder { return s.orders }
+
+// LastError returns the most recent recompute failure ("" if none).
+func (s *Server) LastError() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastErr
+}
+
+// Answer is one route query result, stamped with the generation that
+// produced it. Found=false with a Reason is a normal answer — the query
+// itself never fails once it parses.
+type Answer struct {
+	Found      bool
+	Route      *routing.Route
+	Reason     string
+	Generation uint64
+	Cached     bool
+}
+
+// Route answers a query against the live epoch, consulting and filling
+// the epoch's route cache. It takes no locks beyond the cache shard's and
+// never blocks on reconfiguration.
+func (s *Server) Route(src, dst mesh.Coord) Answer {
+	e := s.Epoch()
+	s.metrics.Queries.Add(1)
+	ans := Answer{Generation: e.Generation}
+	if !e.Faults.Mesh().Contains(src) || !e.Faults.Mesh().Contains(dst) {
+		// Out-of-mesh coordinates cannot be cache keys (Index panics).
+		if msg := e.endpointErr("src", src); msg != "" {
+			ans.Reason = msg
+		} else {
+			ans.Reason = e.endpointErr("dst", dst)
+		}
+		s.metrics.RoutesRejected.Add(1)
+		return ans
+	}
+	k := pairKey{e.Faults.Mesh().Index(src), e.Faults.Mesh().Index(dst)}
+	if ce, ok := e.cache.get(k); ok {
+		s.metrics.CacheHits.Add(1)
+		ans.Cached = true
+		s.observe(ce, &ans)
+		return ans
+	}
+	r, reason := e.route(s.orders, src, dst)
+	ce := &cacheEntry{route: r, reason: reason}
+	e.cache.put(k, ce)
+	s.observe(ce, &ans)
+	return ans
+}
+
+func (s *Server) observe(ce *cacheEntry, ans *Answer) {
+	if ce.route != nil {
+		ans.Found = true
+		ans.Route = ce.route
+		if !ans.Cached {
+			s.metrics.ObserveRoute(ce.route.Hops())
+		}
+		return
+	}
+	ans.Reason = ce.reason
+	if !ans.Cached {
+		s.metrics.RoutesRejected.Add(1)
+	}
+}
+
+// ReportFaults validates and enqueues newly detected faults, waking the
+// recompute worker, and returns immediately — it never waits for the new
+// epoch. Reports arriving while a recompute runs coalesce into one batch.
+// Already-known faults are accepted and deduplicated by the fault set.
+func (s *Server) ReportFaults(nodes []mesh.Coord, links []mesh.Link) error {
+	for _, c := range nodes {
+		if !s.mesh.Contains(c) {
+			return fmt.Errorf("server: fault %v outside mesh %v", c, s.mesh)
+		}
+	}
+	for _, l := range links {
+		if !s.mesh.Contains(l.From) {
+			return fmt.Errorf("server: link tail %v outside mesh %v", l.From, s.mesh)
+		}
+		if l.Dir != 1 && l.Dir != -1 {
+			return fmt.Errorf("server: link %v: direction must be +1 or -1", l)
+		}
+		if _, ok := s.mesh.Neighbor(l.From, l.Dim, l.Dir); !ok {
+			return fmt.Errorf("server: link %v has no head in %v", l, s.mesh)
+		}
+	}
+	s.mu.Lock()
+	for _, c := range nodes {
+		s.pendingN = append(s.pendingN, c.Clone())
+	}
+	for _, l := range links {
+		s.pendingL = append(s.pendingL, mesh.Link{From: l.From.Clone(), Dim: l.Dim, Dir: l.Dir})
+	}
+	s.mu.Unlock()
+	s.metrics.FaultReports.Add(1)
+	s.metrics.FaultsAdded.Add(int64(len(nodes) + len(links)))
+	select {
+	case s.kick <- struct{}{}:
+	default: // worker already has a wakeup queued
+	}
+	return nil
+}
+
+// worker is the single goroutine allowed to touch the Reconfigurer and to
+// store epochs. One wakeup drains every report queued so far (and any that
+// arrive during the recompute are picked up by the next loop iteration),
+// so a burst of n reports costs far fewer than n recomputes.
+func (s *Server) worker() {
+	defer close(s.done)
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-s.kick:
+		}
+		for {
+			s.mu.Lock()
+			nodes, links := s.pendingN, s.pendingL
+			s.pendingN, s.pendingL = nil, nil
+			s.mu.Unlock()
+			if len(nodes) == 0 && len(links) == 0 {
+				break
+			}
+			if err := s.recompute(nodes, links); err != nil {
+				s.mu.Lock()
+				s.lastErr = err.Error()
+				s.mu.Unlock()
+			}
+			select {
+			case <-s.quit:
+				return
+			default:
+			}
+		}
+	}
+}
+
+// recompute folds the faults into the Reconfigurer, rebuilds the lamb
+// set, and publishes the next epoch. On error the previous epoch stays
+// live and the faults remain folded into the Reconfigurer (they are real;
+// a later successful recompute covers them).
+func (s *Server) recompute(nodes []mesh.Coord, links []mesh.Link) error {
+	start := time.Now()
+	res, err := s.recon.AddFaults(nodes, links)
+	s.metrics.RecomputeNanos.Add(int64(time.Since(start)))
+	if err != nil {
+		s.metrics.RecomputeErrs.Add(1)
+		return err
+	}
+	if hook := s.testHookPrePublish; hook != nil {
+		hook()
+	}
+	next := newEpoch(s.recon.Faults(), res.Lambs, uint64(s.recon.Generation()), time.Now())
+	s.epoch.Store(next)
+	s.metrics.Recomputes.Add(1)
+	s.mu.Lock()
+	s.lastErr = ""
+	s.mu.Unlock()
+	return nil
+}

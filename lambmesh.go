@@ -27,6 +27,7 @@
 package lambmesh
 
 import (
+	"io"
 	"math/rand"
 
 	"lambmesh/internal/core"
@@ -175,6 +176,16 @@ func VerifyLambSet(f *FaultSet, orders MultiOrder, lambs []Coord) error {
 func NewReconfigurer(m *Mesh, orders MultiOrder, keepLambs bool) (*Reconfigurer, error) {
 	return core.NewReconfigurer(m, orders, keepLambs)
 }
+
+// WriteFaults serializes a fault set in the line-oriented lambmesh fault
+// format ("mesh 12x12" / "node 9,1" / "link 1,1 0 +1"). The format is what
+// cmd/lambfind's -fault-file and cmd/lambd's -load consume, so fault
+// configurations round-trip between diagnostics runs and the daemon.
+func WriteFaults(w io.Writer, f *FaultSet) error { return mesh.WriteFaults(w, f) }
+
+// ReadFaults parses the WriteFaults format, reconstructing the mesh and
+// its fault set.
+func ReadFaults(r io.Reader) (*FaultSet, error) { return mesh.ReadFaults(r) }
 
 // WithValues, WithPredetermined, and WithReachability are the Section 7
 // extensions; see internal/core for semantics.

@@ -2,6 +2,7 @@ package lambmesh
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -165,5 +166,33 @@ func TestPublicValues(t *testing.T) {
 	}
 	if err := VerifyLambSet(f, TwoRoundXY(), res.Lambs); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestPublicFaultSerialization(t *testing.T) {
+	m, _ := NewMesh(12, 12)
+	f := NewFaultSet(m)
+	f.AddNodes(C(9, 1), C(11, 6))
+	f.AddLink(Link{From: C(3, 4), Dim: 1, Dir: -1})
+
+	var b strings.Builder
+	if err := WriteFaults(&b, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFaults(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("round-trip: %v\nserialized:\n%s", err, b.String())
+	}
+	if got.Mesh().String() != m.String() {
+		t.Errorf("mesh %v != %v", got.Mesh(), m)
+	}
+	if got.NumNodeFaults() != 2 || !got.NodeFaulty(C(9, 1)) || !got.NodeFaulty(C(11, 6)) {
+		t.Errorf("node faults: %v", got.SortedNodeFaults())
+	}
+	if got.NumLinkFaults() != 1 || !got.LinkFaulty(Link{From: C(3, 4), Dim: 1, Dir: -1}) {
+		t.Errorf("link faults: %v", got.LinkFaults())
+	}
+	if _, err := ReadFaults(strings.NewReader("node 1,1\n")); err == nil {
+		t.Error("faults before a mesh declaration should fail")
 	}
 }
