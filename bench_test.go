@@ -9,6 +9,8 @@ package lambmesh
 
 import (
 	"math/rand"
+	"os"
+	"strconv"
 	"testing"
 
 	"lambmesh/internal/analysis"
@@ -25,6 +27,19 @@ import (
 	"lambmesh/internal/wormhole"
 )
 
+// benchWorkers returns the worker-pool size the benchmarks run the lamb
+// pipeline at. scripts/bench.sh sets LAMBMESH_WORKERS to 1 and to NumCPU to
+// record the serial-vs-parallel trajectory in BENCH_lamb.json; unset (or
+// <= 0) means all CPUs, the library default.
+func benchWorkers() int {
+	if s := os.Getenv("LAMBMESH_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil {
+			return n
+		}
+	}
+	return 0
+}
+
 func paperFaults12() *mesh.FaultSet {
 	m := mesh.MustNew(12, 12)
 	f := mesh.NewFaultSet(m)
@@ -39,7 +54,7 @@ func BenchmarkTable1Reachability(b *testing.B) {
 	orders := routing.UniformAscending(2, 2)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := reach.Compute(f, orders); err != nil {
+		if _, err := reach.ComputeWorkers(f, orders, benchWorkers()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -51,13 +66,14 @@ func BenchmarkSec5LambSet(b *testing.B) {
 	orders := routing.UniformAscending(2, 2)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Lamb1(f, orders); err != nil {
+		if _, err := core.Lamb1(f, orders, core.WithWorkers(benchWorkers())); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-// benchLambTrial measures one randomized trial at a figure's data point.
+// benchLambTrial measures one randomized trial at a figure's data point,
+// at the LAMBMESH_WORKERS pool size (default all CPUs).
 func benchLambTrial(b *testing.B, widths []int, faults, k int) {
 	b.Helper()
 	m := mesh.MustNew(widths...)
@@ -65,7 +81,7 @@ func benchLambTrial(b *testing.B, widths []int, faults, k int) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sim.RunLambTrial(m, faults, k, rng)
+		sim.RunLambTrialWorkers(m, faults, k, benchWorkers(), rng)
 	}
 }
 
@@ -291,7 +307,7 @@ func BenchmarkBitmatMul(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		a.Mul(c)
+		a.MulParallel(c, benchWorkers())
 	}
 }
 

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	lambd serve  -addr :8080 -mesh 16x16 -k 2 [-keep-lambs] [-load faults.txt]
+//	lambd serve  -addr :8080 -mesh 16x16 -k 2 [-keep-lambs] [-load faults.txt] [-workers N]
 //	lambd route  -addr http://host:8080 -src 0,0 -dst 5,5
 //	lambd faults -addr http://host:8080 [-nodes "(3,3);(4,4)"] [-links "(1,1),0,+1"] [-file faults.txt]
 //	lambd config -addr http://host:8080
@@ -82,7 +82,7 @@ run 'lambd <subcommand> -h' for flags.`)
 // newServerFromFlags assembles the daemon from serve's flag values.
 // Factored out of cmdServe so tests can build (and close) a server
 // without binding a listener.
-func newServerFromFlags(meshSpec string, k int, keepLambs bool, loadPath string) (*server.Server, error) {
+func newServerFromFlags(meshSpec string, k int, keepLambs bool, loadPath string, workers int) (*server.Server, error) {
 	var initial *lambmesh.FaultSet
 	var m *lambmesh.Mesh
 	if loadPath != "" {
@@ -111,6 +111,7 @@ func newServerFromFlags(meshSpec string, k int, keepLambs bool, loadPath string)
 		Orders:        lambmesh.UniformAscending(m.Dims(), k),
 		KeepLambs:     keepLambs,
 		InitialFaults: initial,
+		Workers:       workers,
 	})
 }
 
@@ -123,11 +124,12 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 		k         = fs.Int("k", 2, "routing rounds (virtual channels)")
 		keepLambs = fs.Bool("keep-lambs", false, "lamb sets only grow across generations")
 		load      = fs.String("load", "", "seed faults from a lambmesh fault file (overrides -mesh)")
+		workers   = fs.Int("workers", 0, "recompute worker pool size; 0 = all CPUs (shrinks the stale-epoch window)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	s, err := newServerFromFlags(*meshSpec, *k, *keepLambs, *load)
+	s, err := newServerFromFlags(*meshSpec, *k, *keepLambs, *load, *workers)
 	if err != nil {
 		return err
 	}

@@ -16,7 +16,7 @@ import (
 // it over httptest, so the client subcommands run against the real wire.
 func startDaemon(t *testing.T, meshSpec string, loadPath string) (*server.Server, string) {
 	t.Helper()
-	s, err := newServerFromFlags(meshSpec, 2, false, loadPath)
+	s, err := newServerFromFlags(meshSpec, 2, false, loadPath, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,11 +4,16 @@
 //
 //	lambfind -mesh 32x32x32 [-torus] -k 2 [-algo lamb1|lamb2|exact|generic]
 //	         [-faults "(9,1);(11,6);(10,10)" | -fault-file faults.txt | -random 983 -seed 1]
-//	         [-verify] [-v]
+//	         [-workers N] [-verify] [-v]
 //
 // The fault file lists one node coordinate per line ("x,y,z"); lines
 // starting with '#' are ignored. Output is the lamb set, one coordinate per
 // line, preceded by a summary on stderr.
+//
+// -workers N bounds the worker pool the reachability kernels run on (0, the
+// default, means all CPUs). The computed lamb set is bit-identical for every
+// worker count; the flag only trades wall-clock time against CPU share. The
+// generic/torus path is single-threaded and ignores it.
 package main
 
 import (
@@ -36,6 +41,7 @@ func main() {
 		faultFile = flag.String("fault-file", "", "file with one fault coordinate per line")
 		random    = flag.Int("random", 0, "number of random node faults to draw instead")
 		seed      = flag.Int64("seed", 1, "seed for -random")
+		workers   = flag.Int("workers", 0, "reachability worker pool size; 0 = all CPUs (result is identical for any value)")
 		verify    = flag.Bool("verify", false, "re-verify the lamb set through the SES/DES algebra")
 		verbose   = flag.Bool("v", false, "print partition statistics")
 		load      = flag.String("load", "", "load mesh+faults from a file in the lambmesh fault format (overrides -mesh)")
@@ -90,20 +96,7 @@ func main() {
 	}
 
 	orders := routing.UniformAscending(m.Dims(), *k)
-	var res *core.Result
-	var err error
-	switch {
-	case m.Torus() || *algo == "generic":
-		res, err = core.TorusLamb(f, orders)
-	case *algo == "lamb1":
-		res, err = core.Lamb1(f, orders)
-	case *algo == "lamb2":
-		res, err = core.Lamb2(f, orders, core.ApproxWVC)
-	case *algo == "exact":
-		res, err = core.ExactLamb(f, orders)
-	default:
-		err = fmt.Errorf("unknown -algo %q", *algo)
-	}
+	res, err := computeLamb(f, orders, *algo, *workers)
 	if err != nil {
 		fatal(err)
 	}
@@ -137,6 +130,24 @@ func main() {
 	}
 	for _, c := range res.Lambs {
 		fmt.Println(strings.Trim(c.String(), "()"))
+	}
+}
+
+// computeLamb dispatches to the selected lamb algorithm. The torus/generic
+// path has no worker knob (it is single-threaded); everywhere else the
+// result is bit-identical for any workers value.
+func computeLamb(f *mesh.FaultSet, orders routing.MultiOrder, algo string, workers int) (*core.Result, error) {
+	switch {
+	case f.Mesh().Torus() || algo == "generic":
+		return core.TorusLamb(f, orders)
+	case algo == "lamb1":
+		return core.Lamb1(f, orders, core.WithWorkers(workers))
+	case algo == "lamb2":
+		return core.Lamb2(f, orders, core.ApproxWVC, core.WithWorkers(workers))
+	case algo == "exact":
+		return core.ExactLamb(f, orders, core.WithWorkers(workers))
+	default:
+		return nil, fmt.Errorf("unknown -algo %q", algo)
 	}
 }
 

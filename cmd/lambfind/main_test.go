@@ -1,11 +1,14 @@
 package main
 
 import (
+	"math/rand"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"lambmesh/internal/mesh"
+	"lambmesh/internal/routing"
 )
 
 func TestParseMesh(t *testing.T) {
@@ -57,6 +60,38 @@ func TestLoadFaultsFile(t *testing.T) {
 	}
 	if err := loadFaults(f, "", filepath.Join(dir, "missing.txt")); err == nil {
 		t.Error("missing file should fail")
+	}
+}
+
+// -workers must not change the lamb set: workers=2 (and 0 = all CPUs) give
+// exactly the nodes workers=1 gives, for every mesh algorithm.
+func TestWorkersFlagSameLambSet(t *testing.T) {
+	m := mesh.MustNew(16, 16)
+	f := mesh.RandomNodeFaults(m, 12, rand.New(rand.NewSource(42)))
+	orders := routing.UniformAscending(2, 2)
+	for _, algo := range []string{"lamb1", "lamb2", "exact"} {
+		base, err := computeLamb(f, orders, algo, 1)
+		if err != nil {
+			t.Fatalf("%s workers=1: %v", algo, err)
+		}
+		for _, workers := range []int{2, 0} {
+			got, err := computeLamb(f, orders, algo, workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", algo, workers, err)
+			}
+			if !reflect.DeepEqual(got.Lambs, base.Lambs) {
+				t.Errorf("%s: workers=%d lamb set %v != workers=1 %v",
+					algo, workers, got.Lambs, base.Lambs)
+			}
+		}
+	}
+}
+
+func TestComputeLambUnknownAlgo(t *testing.T) {
+	m := mesh.MustNew(8, 8)
+	f := mesh.NewFaultSet(m)
+	if _, err := computeLamb(f, routing.UniformAscending(2, 2), "nope", 1); err == nil {
+		t.Error("unknown algo should fail")
 	}
 }
 

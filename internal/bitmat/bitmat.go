@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"math/bits"
 	"strings"
+
+	"lambmesh/internal/par"
 )
 
 // Matrix is a dense Boolean matrix with rows packed into 64-bit words.
@@ -102,11 +104,32 @@ func (m *Matrix) OrRowInto(i int, dst *Matrix, di int) {
 // O(nnz(m) * cols(o)/64): sparse left operands are cheap and dense ones
 // degrade gracefully to the packed dense product.
 func (m *Matrix) Mul(o *Matrix) *Matrix {
+	return m.MulParallel(o, 1)
+}
+
+// MulParallel is Mul with the rows of the output filled by up to `workers`
+// goroutines (<= 0 means NumCPU). Output rows occupy disjoint word ranges,
+// so the result is bit-identical to Mul for every worker count.
+func (m *Matrix) MulParallel(o *Matrix, workers int) *Matrix {
 	if m.cols != o.rows {
 		panic(fmt.Sprintf("bitmat: %dx%d * %dx%d", m.rows, m.cols, o.rows, o.cols))
 	}
 	out := New(m.rows, o.cols)
-	for i := 0; i < m.rows; i++ {
+	m.mulInto(out, o, workers)
+	return out
+}
+
+// mulInto fills out (all-zero, m.rows x o.cols) with the product m x o,
+// row-block parallel across workers.
+func (m *Matrix) mulInto(out, o *Matrix, workers int) {
+	par.Blocks(workers, m.rows, func(lo, hi int) {
+		m.mulRows(out, o, lo, hi)
+	})
+}
+
+// mulRows computes output rows [lo, hi) of m x o.
+func (m *Matrix) mulRows(out, o *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		src := m.row(i)
 		dst := out.row(i)
 		for w, word := range src {
@@ -121,19 +144,50 @@ func (m *Matrix) Mul(o *Matrix) *Matrix {
 			}
 		}
 	}
-	return out
 }
 
 // MulChain multiplies a sequence of conformant matrices left to right.
 func MulChain(ms ...*Matrix) *Matrix {
+	return MulChainParallel(1, ms...)
+}
+
+// MulChainParallel is MulChain with each product row-block parallel across
+// `workers` goroutines (<= 0 means NumCPU). Intermediate products cycle
+// through a double-buffered scratch pair instead of allocating one matrix
+// per step, so a chain of any length costs at most two intermediate
+// allocations (amortized fewer when sizes shrink along the chain). The
+// inputs are never written; the result never aliases an input unless the
+// chain has length one, in which case ms[0] itself is returned.
+func MulChainParallel(workers int, ms ...*Matrix) *Matrix {
 	if len(ms) == 0 {
 		panic("bitmat: empty chain")
 	}
-	out := ms[0]
-	for _, m := range ms[1:] {
-		out = out.Mul(m)
+	cur := ms[0]
+	var scratch [2]*Matrix
+	for step, m := range ms[1:] {
+		if cur.cols != m.rows {
+			panic(fmt.Sprintf("bitmat: %dx%d * %dx%d", cur.rows, cur.cols, m.rows, m.cols))
+		}
+		buf := scratch[step%2].reset(cur.rows, m.cols)
+		scratch[step%2] = buf
+		cur.mulInto(buf, m, workers)
+		cur = buf
 	}
-	return out
+	return cur
+}
+
+// reset returns an all-zero rows x cols matrix, reusing m's storage when it
+// is large enough. m may be nil.
+func (m *Matrix) reset(rows, cols int) *Matrix {
+	stride := (cols + 63) / 64
+	need := rows * stride
+	if m == nil || cap(m.bits) < need {
+		return New(rows, cols)
+	}
+	m.rows, m.cols, m.stride = rows, cols, stride
+	m.bits = m.bits[:need]
+	clear(m.bits)
+	return m
 }
 
 // Ones counts the set entries.

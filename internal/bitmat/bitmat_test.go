@@ -97,6 +97,67 @@ func TestMulAssociative(t *testing.T) {
 	}
 }
 
+// MulParallel must be bit-identical to Mul for every worker count.
+func TestMulParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		p := 1 + rng.Intn(90)
+		q := 1 + rng.Intn(90)
+		r := 1 + rng.Intn(90)
+		a := randomMatrix(p, q, rng.Float64(), rng)
+		b := randomMatrix(q, r, rng.Float64(), rng)
+		want := a.Mul(b)
+		for _, workers := range []int{-1, 0, 1, 2, 3, 8} {
+			if got := a.MulParallel(b, workers); !got.Equal(want) {
+				t.Fatalf("trial %d workers %d: MulParallel mismatch", trial, workers)
+			}
+		}
+	}
+}
+
+// MulChainParallel must match the step-by-step Mul chain for every worker
+// count and chain length, despite the scratch-pair reuse.
+func TestMulChainParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(6)
+		ms := make([]*Matrix, n)
+		prev := 1 + rng.Intn(40)
+		for i := range ms {
+			next := 1 + rng.Intn(40)
+			ms[i] = randomMatrix(prev, next, 0.3, rng)
+			prev = next
+		}
+		want := ms[0]
+		for _, m := range ms[1:] {
+			want = want.Mul(m)
+		}
+		for _, workers := range []int{1, 2, 5} {
+			got := MulChainParallel(workers, ms...)
+			if !got.Equal(want) {
+				t.Fatalf("trial %d workers %d: chain of %d mismatch", trial, workers, n)
+			}
+		}
+	}
+}
+
+// The chain's scratch buffers must never alias its inputs: after the chain,
+// re-multiplying the (unchanged) inputs must give the same answer.
+func TestMulChainDoesNotCorruptInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randomMatrix(30, 40, 0.3, rng)
+	b := randomMatrix(40, 30, 0.3, rng)
+	c := randomMatrix(30, 20, 0.3, rng)
+	aw, bw, cw := a.Clone(), b.Clone(), c.Clone()
+	first := MulChain(a, b, c)
+	if !a.Equal(aw) || !b.Equal(bw) || !c.Equal(cw) {
+		t.Fatal("MulChain mutated an input")
+	}
+	if again := MulChain(a, b, c); !again.Equal(first) {
+		t.Fatal("MulChain not reproducible")
+	}
+}
+
 func TestMulDimensionPanic(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -42,6 +42,7 @@ type config struct {
 	predetermined []mesh.Coord
 	keepReach     bool
 	sweep         bool
+	workers       int
 }
 
 // WithValues assigns integer utilities to nodes (default 1 each). The
@@ -73,6 +74,15 @@ func WithReachability() Option {
 // relative to the mesh size. Meshes only.
 func WithSweepReachability() Option {
 	return func(c *config) { c.sweep = true }
+}
+
+// WithWorkers bounds the worker pool the reachability kernels run on; n <= 0
+// (the default) means runtime.NumCPU(). The lamb set and every intermediate
+// matrix are bit-identical for any worker count — parallelism only changes
+// wall-clock time — so callers may tune this freely (e.g. 1 inside an
+// already-parallel trial pool, NumCPU for a latency-sensitive recompute).
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = n }
 }
 
 // Stats records the intermediate sizes the paper reports in its figures.

@@ -27,11 +27,11 @@ func Lamb1(f *mesh.FaultSet, orders routing.MultiOrder, opts ...Option) (*Result
 	if err := validateConfig(f, cfg); err != nil {
 		return nil, err
 	}
-	compute := reach.Compute
+	compute := reach.ComputeWorkers
 	if cfg.sweep {
-		compute = reach.ComputeWithSweep
+		compute = reach.ComputeWithSweepWorkers
 	}
-	rc, err := compute(f, orders)
+	rc, err := compute(f, orders, cfg.workers)
 	if err != nil {
 		return nil, err
 	}

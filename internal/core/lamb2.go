@@ -46,7 +46,7 @@ func Lamb2(f *mesh.FaultSet, orders routing.MultiOrder, mode WVCMode, opts ...Op
 	if err := validateConfig(f, cfg); err != nil {
 		return nil, err
 	}
-	rc, err := reach.Compute(f, orders)
+	rc, err := reach.ComputeWorkers(f, orders, cfg.workers)
 	if err != nil {
 		return nil, err
 	}

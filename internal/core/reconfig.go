@@ -21,6 +21,10 @@ type Reconfigurer struct {
 	lambs  []mesh.Coord
 	// KeepLambs forces monotone lamb sets across generations.
 	KeepLambs bool
+	// Workers bounds the worker pool each recompute's reachability kernels
+	// run on; <= 0 means NumCPU. The lamb set is identical for any value —
+	// this only trades recompute latency against CPU share.
+	Workers int
 	// generation counts completed reconfigurations.
 	generation int
 }
@@ -63,7 +67,7 @@ func (r *Reconfigurer) AddFaults(nodes []mesh.Coord, links []mesh.Link) (*Result
 	for _, l := range links {
 		r.faults.AddLink(l)
 	}
-	var opts []Option
+	opts := []Option{WithWorkers(r.Workers)}
 	if r.KeepLambs {
 		// Previous lambs that just failed are faults now, not lambs.
 		var stillGood []mesh.Coord

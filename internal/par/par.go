@@ -1,0 +1,97 @@
+// Package par is the shared worker-pool helper behind every parallel kernel
+// in the lamb pipeline (bitmat products, reach matrix fills, sweep rows, sim
+// trials). It exists so the "how many workers" question is answered in
+// exactly one place: Clamp maps the conventional knob value (<= 0 means "all
+// CPUs") to an effective count, and Do/Blocks fan a loop out over that many
+// goroutines.
+//
+// Determinism contract: Do and Blocks only change *which goroutine* executes
+// an index, never the set of indices executed, so any loop whose iterations
+// write disjoint outputs (e.g. one matrix row each) produces bit-identical
+// results for every worker count. All parallel kernels in this repository
+// are written in that style.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Clamp returns the effective worker count for knob value n: n itself when
+// positive, else runtime.NumCPU(). Every Workers knob in the repository
+// (core.WithWorkers, sim.Config.Workers, server.Config.Workers, the -workers
+// flags) routes through this one clamp so the conventions cannot drift.
+func Clamp(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// Do runs fn(i) for every i in [0, n), fanning out over up to `workers`
+// goroutines (clamped via Clamp and capped at n). Indices are handed out
+// dynamically from an atomic counter, so uneven per-index costs balance
+// well. With one effective worker the loop runs inline on the caller's
+// goroutine. Do returns after every call has finished. fn must not panic
+// across goroutines it does not own; iterations must write disjoint data.
+func Do(workers, n int, fn func(i int)) {
+	workers = Clamp(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Blocks splits [0, n) into up to `workers` contiguous half-open blocks and
+// runs fn(lo, hi) for each concurrently. Use it when fn amortizes per-call
+// setup over a range (e.g. row blocks of a matrix product). With one
+// effective worker fn(0, n) runs inline. Blocks returns after every call has
+// finished.
+func Blocks(workers, n int, fn func(lo, hi int)) {
+	workers = Clamp(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

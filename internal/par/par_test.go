@@ -1,0 +1,71 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(3); got != 3 {
+		t.Errorf("Clamp(3) = %d", got)
+	}
+	if got := Clamp(1); got != 1 {
+		t.Errorf("Clamp(1) = %d", got)
+	}
+	for _, n := range []int{0, -1, -100} {
+		if got := Clamp(n); got != runtime.NumCPU() {
+			t.Errorf("Clamp(%d) = %d, want NumCPU=%d", n, got, runtime.NumCPU())
+		}
+	}
+}
+
+// Do must execute every index exactly once, for any worker count.
+func TestDoCoversEachIndexOnce(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 3, 7, 64} {
+		for _, n := range []int{0, 1, 2, 5, 100} {
+			counts := make([]atomic.Int32, n)
+			Do(workers, n, func(i int) { counts[i].Add(1) })
+			for i := range counts {
+				if c := counts[i].Load(); c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+// Blocks must partition [0,n) exactly: every index in one block, no overlap.
+func TestBlocksPartitionExact(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 3, 7, 64} {
+		for _, n := range []int{0, 1, 2, 5, 100, 101} {
+			counts := make([]atomic.Int32, n)
+			Blocks(workers, n, func(lo, hi int) {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("workers=%d n=%d: bad block [%d,%d)", workers, n, lo, hi)
+					return
+				}
+				for i := lo; i < hi; i++ {
+					counts[i].Add(1)
+				}
+			})
+			for i := range counts {
+				if c := counts[i].Load(); c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+// With workers <= 1 both helpers must run inline on the calling goroutine —
+// callers rely on this for the serial fallback.
+func TestInlineWhenSerial(t *testing.T) {
+	var gid [2]int
+	probe := func(slot int) { gid[slot]++ }
+	Do(1, 4, func(int) { probe(0) })
+	Blocks(1, 4, func(lo, hi int) { probe(1) })
+	if gid[0] != 4 || gid[1] != 1 {
+		t.Errorf("inline execution counts = %v", gid)
+	}
+}

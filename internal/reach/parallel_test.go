@@ -1,0 +1,80 @@
+package reach
+
+import (
+	"math/rand"
+	"testing"
+
+	"lambmesh/internal/mesh"
+	"lambmesh/internal/routing"
+)
+
+// ComputeWorkers must produce bit-identical matrices for every worker
+// count, including on non-uniform orderings where the per-round R_t/I_t
+// builds themselves run in parallel.
+func TestComputeWorkersDeterministic(t *testing.T) {
+	m := mesh.MustNew(10, 10, 10)
+	rng := rand.New(rand.NewSource(21))
+	f := mesh.RandomNodeFaults(m, 60, rng)
+
+	orderings := []routing.MultiOrder{
+		routing.UniformAscending(3, 2),
+		// Non-uniform: distinct per-round orderings exercise the
+		// per-round-parallel path (no shared cache entries).
+		{routing.Order{0, 1, 2}, routing.Order{2, 1, 0}, routing.Order{1, 0, 2}},
+	}
+	for oi, orders := range orderings {
+		base, err := ComputeWorkers(f, orders, 1)
+		if err != nil {
+			t.Fatalf("ordering %d serial: %v", oi, err)
+		}
+		for _, workers := range []int{2, 3, 0} {
+			got, err := ComputeWorkers(f, orders, workers)
+			if err != nil {
+				t.Fatalf("ordering %d workers=%d: %v", oi, workers, err)
+			}
+			if !got.RK.Equal(base.RK) {
+				t.Errorf("ordering %d: R^(k) differs at workers=%d", oi, workers)
+			}
+			for tt := range base.R {
+				if !got.R[tt].Equal(base.R[tt]) {
+					t.Errorf("ordering %d: R[%d] differs at workers=%d", oi, tt, workers)
+				}
+			}
+			for tt := range base.I {
+				if !got.I[tt].Equal(base.I[tt]) {
+					t.Errorf("ordering %d: I[%d] differs at workers=%d", oi, tt, workers)
+				}
+			}
+		}
+	}
+}
+
+// The parallel sweep path must agree with both its serial self and the
+// matrix path.
+func TestSweepWorkersDeterministic(t *testing.T) {
+	m := mesh.MustNew(9, 9)
+	rng := rand.New(rand.NewSource(22))
+	f := mesh.RandomNodeFaults(m, 10, rng)
+	orders := routing.UniformAscending(2, 2)
+
+	base, err := ComputeWithSweepWorkers(f, orders, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matrix, err := ComputeWorkers(f, orders, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.RK.Equal(matrix.RK) {
+		t.Fatal("sweep and matrix R^(k) disagree (pre-existing bug, not parallelism)")
+	}
+	for _, workers := range []int{2, 4, 0} {
+		got, err := ComputeWithSweepWorkers(f, orders, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !got.RK.Equal(base.RK) {
+			t.Errorf("sweep R^(k) differs at workers=%d", workers)
+		}
+	}
+}

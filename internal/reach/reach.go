@@ -19,6 +19,7 @@ import (
 
 	"lambmesh/internal/bitmat"
 	"lambmesh/internal/mesh"
+	"lambmesh/internal/par"
 	"lambmesh/internal/partition"
 	"lambmesh/internal/routing"
 )
@@ -41,13 +42,26 @@ type Reachability struct {
 	RK *bitmat.Matrix
 }
 
-// Compute runs Find-Reachability for fault set f and the k-round ordering.
-// Identical per-round orderings share partitions and matrices, as the paper
-// notes (R_1 = R_2 = ... and I_1 = I_2 = ... for a uniform ordering).
+// Compute runs Find-Reachability for fault set f and the k-round ordering
+// on all CPUs. Identical per-round orderings share partitions and matrices,
+// as the paper notes (R_1 = R_2 = ... and I_1 = I_2 = ... for a uniform
+// ordering).
 func Compute(f *mesh.FaultSet, orders routing.MultiOrder) (*Reachability, error) {
+	return ComputeWorkers(f, orders, 0)
+}
+
+// ComputeWorkers is Compute with an explicit worker-pool size (<= 0 means
+// NumCPU). Three layers parallelize: distinct rounds of a non-uniform
+// ordering build their partitions and R_t concurrently, each R_t and I_t
+// fill is row-parallel (the routing.Oracle is read-only after NewOracle, so
+// concurrent ReachOne queries are safe), and the R^(k) chain product is
+// row-block parallel. Every parallel loop writes disjoint matrix rows, so
+// the result is bit-identical for every worker count.
+func ComputeWorkers(f *mesh.FaultSet, orders routing.MultiOrder, workers int) (*Reachability, error) {
 	if err := orders.Validate(f.Mesh().Dims()); err != nil {
 		return nil, err
 	}
+	workers = par.Clamp(workers)
 	o := routing.NewOracle(f)
 	k := orders.Rounds()
 	rc := &Reachability{
@@ -59,81 +73,112 @@ func Compute(f *mesh.FaultSet, orders routing.MultiOrder) (*Reachability, error)
 	}
 
 	type roundData struct {
+		round int // first round using this ordering
 		sigma *partition.Partition
 		delta *partition.Partition
 		r     *bitmat.Matrix
+		err   error
 	}
 	cache := make(map[string]*roundData)
+	var distinct []*roundData // first-appearance order
 	for t := 0; t < k; t++ {
 		key := orders[t].String()
-		rd, ok := cache[key]
-		if !ok {
-			sigma, err := partition.SES(f, orders[t])
-			if err != nil {
-				return nil, err
-			}
-			delta, err := partition.DES(f, orders[t])
-			if err != nil {
-				return nil, err
-			}
-			rd = &roundData{
-				sigma: sigma,
-				delta: delta,
-				r:     oneRoundMatrix(o, orders[t], sigma, delta),
-			}
+		if _, ok := cache[key]; !ok {
+			rd := &roundData{round: t}
 			cache[key] = rd
+			distinct = append(distinct, rd)
 		}
+	}
+	par.Do(workers, len(distinct), func(i int) {
+		rd := distinct[i]
+		pi := orders[rd.round]
+		sigma, err := partition.SES(f, pi)
+		if err != nil {
+			rd.err = err
+			return
+		}
+		delta, err := partition.DES(f, pi)
+		if err != nil {
+			rd.err = err
+			return
+		}
+		rd.sigma = sigma
+		rd.delta = delta
+		rd.r = oneRoundMatrix(o, pi, sigma, delta, workers)
+	})
+	for _, rd := range distinct {
+		if rd.err != nil {
+			return nil, rd.err
+		}
+	}
+	for t := 0; t < k; t++ {
+		rd := cache[orders[t].String()]
 		rc.Sigma[t] = rd.sigma
 		rc.Delta[t] = rd.delta
 		rc.R[t] = rd.r
 	}
 
 	rc.I = make([]*bitmat.Matrix, k-1)
-	icache := make(map[[2]string]*bitmat.Matrix)
+	iidx := make(map[[2]string]int) // pair key -> index into idistinct
+	var idistinct []int             // first round t using each distinct pair
+	iof := make([]int, k-1)
 	for t := 0; t < k-1; t++ {
 		key := [2]string{orders[t].String(), orders[t+1].String()}
-		im, ok := icache[key]
+		di, ok := iidx[key]
 		if !ok {
-			im = intersectionMatrix(rc.Delta[t], rc.Sigma[t+1])
-			icache[key] = im
+			di = len(idistinct)
+			iidx[key] = di
+			idistinct = append(idistinct, t)
 		}
-		rc.I[t] = im
+		iof[t] = di
+	}
+	ims := make([]*bitmat.Matrix, len(idistinct))
+	par.Do(workers, len(idistinct), func(i int) {
+		t := idistinct[i]
+		ims[i] = intersectionMatrix(rc.Delta[t], rc.Sigma[t+1], workers)
+	})
+	for t := 0; t < k-1; t++ {
+		rc.I[t] = ims[iof[t]]
 	}
 
 	// R^(k) = R_1 I_1 R_2 ... I_{k-1} R_k.
-	rk := rc.R[0]
+	chain := make([]*bitmat.Matrix, 0, 2*k-1)
+	chain = append(chain, rc.R[0])
 	for t := 0; t < k-1; t++ {
-		rk = rk.Mul(rc.I[t]).Mul(rc.R[t+1])
+		chain = append(chain, rc.I[t], rc.R[t+1])
 	}
-	rc.RK = rk
+	rc.RK = bitmat.MulChainParallel(workers, chain...)
 	return rc, nil
 }
 
 // oneRoundMatrix fills R_t by querying the oracle on representatives
-// (Lemma 4.1).
-func oneRoundMatrix(o *routing.Oracle, pi routing.Order, sigma, delta *partition.Partition) *bitmat.Matrix {
+// (Lemma 4.1), one row of SESs per worker at a time.
+func oneRoundMatrix(o *routing.Oracle, pi routing.Order, sigma, delta *partition.Partition, workers int) *bitmat.Matrix {
 	r := bitmat.New(sigma.Len(), delta.Len())
-	for i, s := range sigma.Sets {
+	par.Do(workers, sigma.Len(), func(i int) {
+		s := sigma.Sets[i]
 		for j, d := range delta.Sets {
 			if o.ReachOne(pi, s.Rep, d.Rep) {
 				r.Set(i, j)
 			}
 		}
-	}
+	})
 	return r
 }
 
 // intersectionMatrix fills I_t: I(j,i) = 1 iff D_j and S_i share a node.
-// Each test is O(d) on the rectangular abbreviations.
-func intersectionMatrix(delta, sigma *partition.Partition) *bitmat.Matrix {
+// Each test is O(d) on the rectangular abbreviations; rows are filled in
+// parallel.
+func intersectionMatrix(delta, sigma *partition.Partition, workers int) *bitmat.Matrix {
 	im := bitmat.New(delta.Len(), sigma.Len())
-	for j, d := range delta.Sets {
+	par.Do(workers, delta.Len(), func(j int) {
+		d := delta.Sets[j]
 		for i, s := range sigma.Sets {
 			if d.Rect.Intersects(s.Rect) {
 				im.Set(j, i)
 			}
 		}
-	}
+	})
 	return im
 }
 
@@ -143,8 +188,17 @@ func intersectionMatrix(delta, sigma *partition.Partition) *bitmat.Matrix {
 // O(dN)-per-round sweep, instead of by matrix products. Total time
 // O(|Sigma| k d N) = O(k d^2 f N): for f large relative to N this beats the
 // O(k d^3 f^3) matrix path. The per-round R and I matrices are not
-// materialized (left nil). Meshes only.
+// materialized (left nil). Meshes only. Runs on all CPUs.
 func ComputeWithSweep(f *mesh.FaultSet, orders routing.MultiOrder) (*Reachability, error) {
+	return ComputeWithSweepWorkers(f, orders, 0)
+}
+
+// ComputeWithSweepWorkers is ComputeWithSweep with an explicit worker-pool
+// size (<= 0 means NumCPU): each SES representative's k-round sweep is an
+// independent read-only traversal of the oracle filling its own row of
+// R^(k), so rows are distributed over the pool with no effect on the
+// result.
+func ComputeWithSweepWorkers(f *mesh.FaultSet, orders routing.MultiOrder, workers int) (*Reachability, error) {
 	if err := orders.Validate(f.Mesh().Dims()); err != nil {
 		return nil, err
 	}
@@ -173,14 +227,14 @@ func ComputeWithSweep(f *mesh.FaultSet, orders routing.MultiOrder) (*Reachabilit
 	}
 	m := f.Mesh()
 	rk := bitmat.New(sigma.Len(), delta.Len())
-	for i, s := range sigma.Sets {
-		set := o.ReachKSetSweep(orders, s.Rep)
+	par.Do(workers, sigma.Len(), func(i int) {
+		set := o.ReachKSetSweep(orders, sigma.Sets[i].Rep)
 		for j, d := range delta.Sets {
 			if set[m.Index(d.Rep)] {
 				rk.Set(i, j)
 			}
 		}
-	}
+	})
 	rc.RK = rk
 	return rc, nil
 }

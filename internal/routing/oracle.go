@@ -12,7 +12,12 @@ import (
 // segment asks "is there a fault on this line interval?" against a
 // per-dimension index of the faults, built once in O(d f log f).
 //
-// The oracle is safe for concurrent use after construction.
+// The oracle is safe for concurrent use after construction: NewOracle is
+// the only writer of the per-dimension fault indexes, and every query method
+// (ReachOne, ReachableSetOne, the sweeps, ReachK*) only reads them and the
+// (itself immutable) fault set. The parallel reachability kernels in
+// internal/reach depend on this guarantee — callers who mutate a FaultSet
+// must build a fresh Oracle rather than reuse one across the mutation.
 type Oracle struct {
 	m *mesh.Mesh
 	f *mesh.FaultSet

@@ -21,6 +21,11 @@ type Config struct {
 	// InitialFaults seeds generation 1 with already-known faults. May be
 	// nil. The set is copied; the caller keeps ownership.
 	InitialFaults *mesh.FaultSet
+	// Workers bounds the worker pool the background recompute runs its
+	// reachability kernels on; <= 0 means NumCPU. A faster recompute
+	// directly shrinks the window during which queries are served from the
+	// stale (pre-fault) epoch. The lamb set is identical for any value.
+	Workers int
 }
 
 // Server is the route control plane. The live configuration is an *Epoch
@@ -67,6 +72,7 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	recon.Workers = cfg.Workers
 	s := &Server{
 		orders: cfg.Orders,
 		mesh:   cfg.Mesh,

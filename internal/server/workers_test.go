@@ -1,0 +1,42 @@
+package server
+
+import (
+	"reflect"
+	"testing"
+
+	"lambmesh/internal/mesh"
+	"lambmesh/internal/routing"
+)
+
+// Config.Workers plumbs into the background recompute; the published epoch
+// (lamb set and generation) must be identical for any pool size.
+func TestWorkersConfigSameEpoch(t *testing.T) {
+	m := mesh.MustNew(12, 12)
+	seed := mesh.NewFaultSet(m)
+	seed.AddNodes(mesh.C(3, 3), mesh.C(4, 4), mesh.C(9, 2))
+
+	epochFor := func(workers int) *Epoch {
+		s, err := New(Config{
+			Mesh:          m,
+			Orders:        routing.UniformAscending(2, 2),
+			InitialFaults: seed,
+			Workers:       workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		defer s.Close()
+		return s.Epoch()
+	}
+
+	base := epochFor(1)
+	for _, w := range []int{2, 0} {
+		e := epochFor(w)
+		if e.Generation != base.Generation {
+			t.Errorf("workers=%d: generation %d != %d", w, e.Generation, base.Generation)
+		}
+		if !reflect.DeepEqual(e.Lambs, base.Lambs) {
+			t.Errorf("workers=%d: lamb set %v != %v", w, e.Lambs, base.Lambs)
+		}
+	}
+}

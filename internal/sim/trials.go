@@ -2,12 +2,12 @@ package sim
 
 import (
 	"math/rand"
-	"runtime"
 	"sync"
 	"time"
 
 	"lambmesh/internal/core"
 	"lambmesh/internal/mesh"
+	"lambmesh/internal/par"
 	"lambmesh/internal/routing"
 )
 
@@ -26,12 +26,7 @@ type Config struct {
 // DefaultConfig runs 100 trials on all CPUs with a fixed seed.
 func DefaultConfig() Config { return Config{Trials: 100, Seed: 1, Workers: 0} }
 
-func (c Config) workers() int {
-	if c.Workers > 0 {
-		return c.Workers
-	}
-	return runtime.NumCPU()
-}
+func (c Config) workers() int { return par.Clamp(c.Workers) }
 
 func (c Config) trials() int {
 	if c.Trials > 0 {
@@ -84,10 +79,20 @@ type LambObservation struct {
 // RunLambTrial draws `faults` random node faults on the mesh and runs Lamb1
 // with k rounds of ascending (e-cube) ordering, timing just the algorithm
 // (fault generation excluded, matching the paper's running-time figure).
+// The trial itself is single-threaded (workers=1): ForEachTrial already
+// saturates the machine with concurrent trials, so nesting per-trial
+// parallelism would only add scheduling noise to the timings.
 func RunLambTrial(m *mesh.Mesh, faults, k int, rng *rand.Rand) LambObservation {
+	return RunLambTrialWorkers(m, faults, k, 1, rng)
+}
+
+// RunLambTrialWorkers is RunLambTrial with an explicit worker-pool size for
+// the Lamb1 reachability kernels (<= 0 means NumCPU). The benchmarks use it
+// to measure the single-trial hot path at workers=1 vs workers=NumCPU.
+func RunLambTrialWorkers(m *mesh.Mesh, faults, k, workers int, rng *rand.Rand) LambObservation {
 	fs := mesh.RandomNodeFaults(m, faults, rng)
 	start := time.Now()
-	res, err := core.Lamb1(fs, routing.UniformAscending(m.Dims(), k))
+	res, err := core.Lamb1(fs, routing.UniformAscending(m.Dims(), k), core.WithWorkers(workers))
 	if err != nil {
 		panic(err) // experiment misconfiguration; inputs are validated upstream
 	}

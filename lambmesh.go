@@ -202,3 +202,8 @@ func WithReachability() Option { return core.WithReachability() }
 // spanning-tree sweep, O(k d^2 f N) — preferable when f is large relative
 // to the mesh size. The lamb set is identical.
 func WithSweepReachability() Option { return core.WithSweepReachability() }
+
+// WithWorkers bounds the worker pool the reachability kernels run on;
+// n <= 0 (the default) means all CPUs. The lamb set is bit-identical for
+// any worker count — the knob only trades wall-clock time for CPU share.
+func WithWorkers(n int) Option { return core.WithWorkers(n) }

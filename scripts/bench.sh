@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# bench.sh — record the lamb pipeline's perf trajectory.
+#
+# Runs the hot-path benchmarks (Fig17/Fig18 trials, BitmatMul, the Section 5
+# pipeline) twice — LAMBMESH_WORKERS=1 and LAMBMESH_WORKERS=NumCPU — and
+# writes BENCH_lamb.json with ns/op and allocs/op per (benchmark, workers)
+# pair plus per-benchmark speedups. On a single-CPU machine only the
+# workers=1 pass runs (there is nothing to compare against).
+#
+# Usage:
+#   scripts/bench.sh            # run benchmarks, write BENCH_lamb.json
+#   scripts/bench.sh --check    # validate BENCH_lamb.json's shape (CI)
+#
+# Env:
+#   BENCHTIME   -benchtime value per benchmark (default 3x)
+#   OUT         output file (default BENCH_lamb.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${OUT:-BENCH_lamb.json}"
+BENCHTIME="${BENCHTIME:-3x}"
+BENCH_RE='^(BenchmarkFig17Trial|BenchmarkFig18Trial|BenchmarkBitmatMul|BenchmarkSec5LambSet)$'
+
+if [ "${1:-}" = "--check" ]; then
+    exec go run ./scripts/benchcheck -file "$OUT"
+fi
+
+NCPU="$(getconf _NPROCESSORS_ONLN)"
+GOVER="$(go env GOVERSION)"
+DATE="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
+# run_pass WORKERS -> appends "name workers ns_per_op allocs_per_op" lines
+run_pass() {
+    local workers="$1"
+    echo "bench.sh: pass workers=$workers (benchtime=$BENCHTIME)" >&2
+    LAMBMESH_WORKERS="$workers" go test -run='^$' -count=1 \
+        -bench "$BENCH_RE" -benchtime "$BENCHTIME" . |
+    awk -v w="$workers" '
+        /^Benchmark/ && /ns\/op/ {
+            name = $1
+            sub(/-[0-9]+$/, "", name)
+            ns = ""; allocs = "0"
+            for (i = 2; i <= NF; i++) {
+                if ($i == "ns/op")     ns = $(i-1)
+                if ($i == "allocs/op") allocs = $(i-1)
+            }
+            if (ns != "") print name, w, ns, allocs
+        }'
+}
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+run_pass 1 >"$TMP"
+if [ "$NCPU" -gt 1 ]; then
+    run_pass "$NCPU" >>"$TMP"
+fi
+
+awk -v ncpu="$NCPU" -v gover="$GOVER" -v date="$DATE" -v benchtime="$BENCHTIME" '
+    { ns[$1 "," $2] = $3; names[$1] = 1; lines[NR] = $0 }
+    END {
+        printf "{\n"
+        printf "  \"schema\": \"lambmesh-bench/v1\",\n"
+        printf "  \"date\": \"%s\",\n", date
+        printf "  \"go\": \"%s\",\n", gover
+        printf "  \"num_cpu\": %d,\n", ncpu
+        printf "  \"benchtime\": \"%s\",\n", benchtime
+        printf "  \"benchmarks\": [\n"
+        for (i = 1; i <= NR; i++) {
+            split(lines[i], f, " ")
+            printf "    {\"name\": \"%s\", \"workers\": %s, \"ns_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+                f[1], f[2], f[3], f[4], (i < NR ? "," : "")
+        }
+        printf "  ],\n"
+        printf "  \"speedup\": {\n"
+        n = 0
+        for (name in names) if (ncpu > 1 && (name "," 1) in ns && (name "," ncpu) in ns) order[++n] = name
+        for (i = 1; i <= n; i++) {
+            name = order[i]
+            printf "    \"%s\": %.2f%s\n", name, ns[name "," 1] / ns[name "," ncpu], (i < n ? "," : "")
+        }
+        printf "  }\n"
+        printf "}\n"
+    }' "$TMP" >"$OUT"
+
+echo "bench.sh: wrote $OUT (num_cpu=$NCPU)" >&2
+go run ./scripts/benchcheck -file "$OUT"

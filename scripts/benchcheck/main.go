@@ -1,0 +1,94 @@
+// Command benchcheck validates the shape of BENCH_lamb.json, the perf
+// trajectory file scripts/bench.sh emits. CI runs `scripts/bench.sh
+// --check` (which execs this) so the bench harness and its output format
+// cannot rot silently.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type benchEntry struct {
+	Name        string  `json:"name"`
+	Workers     int     `json:"workers"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type benchFile struct {
+	Schema     string             `json:"schema"`
+	Date       string             `json:"date"`
+	GoVersion  string             `json:"go"`
+	NumCPU     int                `json:"num_cpu"`
+	Benchtime  string             `json:"benchtime"`
+	Benchmarks []benchEntry       `json:"benchmarks"`
+	Speedup    map[string]float64 `json:"speedup"`
+}
+
+// requiredBenchmarks are the hot-path benchmarks the issue tracks; each must
+// appear at workers=1, and (when the recording machine had >1 CPU) at
+// workers=NumCPU too.
+var requiredBenchmarks = []string{
+	"BenchmarkFig17Trial",
+	"BenchmarkFig18Trial",
+	"BenchmarkBitmatMul",
+	"BenchmarkSec5LambSet",
+}
+
+func main() {
+	file := flag.String("file", "BENCH_lamb.json", "bench JSON file to validate")
+	flag.Parse()
+	if err := check(*file); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: %s OK\n", *file)
+}
+
+func check(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var bf benchFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		return fmt.Errorf("%s: not valid JSON: %v", path, err)
+	}
+	if bf.Schema != "lambmesh-bench/v1" {
+		return fmt.Errorf("%s: schema %q, want lambmesh-bench/v1", path, bf.Schema)
+	}
+	if bf.NumCPU < 1 {
+		return fmt.Errorf("%s: num_cpu %d", path, bf.NumCPU)
+	}
+	if bf.Date == "" || bf.GoVersion == "" {
+		return fmt.Errorf("%s: missing date or go version", path)
+	}
+	seen := map[string]map[int]bool{}
+	for i, b := range bf.Benchmarks {
+		if b.Name == "" || b.Workers < 1 || b.NsPerOp <= 0 {
+			return fmt.Errorf("%s: benchmarks[%d] malformed: %+v", path, i, b)
+		}
+		if seen[b.Name] == nil {
+			seen[b.Name] = map[int]bool{}
+		}
+		if seen[b.Name][b.Workers] {
+			return fmt.Errorf("%s: duplicate entry %s workers=%d", path, b.Name, b.Workers)
+		}
+		seen[b.Name][b.Workers] = true
+	}
+	for _, name := range requiredBenchmarks {
+		if !seen[name][1] {
+			return fmt.Errorf("%s: missing %s at workers=1", path, name)
+		}
+		if bf.NumCPU > 1 && !seen[name][bf.NumCPU] {
+			return fmt.Errorf("%s: missing %s at workers=%d (NumCPU)", path, name, bf.NumCPU)
+		}
+	}
+	if bf.NumCPU > 1 && len(bf.Speedup) == 0 {
+		return fmt.Errorf("%s: num_cpu %d but no speedup map", path, bf.NumCPU)
+	}
+	return nil
+}
