@@ -48,25 +48,29 @@ func paperFaults12() *mesh.FaultSet {
 }
 
 // BenchmarkTable1Reachability: building R (and R^(2)) for the Section 5
-// example — Tables 1 and 2.
+// example — Tables 1 and 2, in the steady state of a reused reach.Scratch.
 func BenchmarkTable1Reachability(b *testing.B) {
 	f := paperFaults12()
 	orders := routing.UniformAscending(2, 2)
+	var rs reach.Scratch
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := reach.ComputeWorkers(f, orders, benchWorkers()); err != nil {
+		if _, err := reach.ComputeScratch(f, orders, benchWorkers(), &rs); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-// BenchmarkSec5LambSet: the full Lamb1 pipeline on the worked example.
+// BenchmarkSec5LambSet: the full Lamb1 pipeline on the worked example,
+// through a long-lived Solver (the steady state the allocation budgets in
+// scripts/benchcheck police).
 func BenchmarkSec5LambSet(b *testing.B) {
 	f := paperFaults12()
 	orders := routing.UniformAscending(2, 2)
+	s := core.NewSolver()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Lamb1(f, orders, core.WithWorkers(benchWorkers())); err != nil {
+		if _, err := s.Lamb1(f, orders, core.WithWorkers(benchWorkers())); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -78,10 +82,11 @@ func benchLambTrial(b *testing.B, widths []int, faults, k int) {
 	b.Helper()
 	m := mesh.MustNew(widths...)
 	rng := rand.New(rand.NewSource(1))
+	s := core.NewSolver()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sim.RunLambTrialWorkers(m, faults, k, benchWorkers(), rng)
+		sim.RunLambTrialSolverWorkers(m, faults, k, benchWorkers(), rng, s)
 	}
 }
 
@@ -117,10 +122,12 @@ func BenchmarkFig25Partition(b *testing.B) {
 	m := mesh.MustNew(32, 32, 32)
 	rng := rand.New(rand.NewSource(1))
 	f := mesh.RandomNodeFaults(m, 983, rng)
+	var ps partition.Scratch
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := partition.SES(f, routing.Ascending(3)); err != nil {
+		ps.Reset()
+		if _, err := ps.SES(f, routing.Ascending(3)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -157,10 +164,11 @@ func BenchmarkFig15(b *testing.B) {
 		b.Fatal(err)
 	}
 	orders := routing.UniformAscending(2, 2)
+	s := core.NewSolver()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Lamb1(fig.Faults, orders); err != nil {
+		if _, err := s.Lamb1(fig.Faults, orders); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -204,10 +212,11 @@ func BenchmarkAblVcoverLamb2Exact(b *testing.B) {
 	m := mesh.MustNew(12, 12)
 	f := mesh.RandomNodeFaults(m, 8, rand.New(rand.NewSource(2)))
 	orders := routing.UniformAscending(2, 2)
+	s := core.NewSolver()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Lamb2(f, orders, core.ExactWVC); err != nil {
+		if _, err := s.Lamb2(f, orders, core.ExactWVC); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -273,6 +282,43 @@ func BenchmarkWormholeTraffic(b *testing.B) {
 	}
 }
 
+// BenchmarkWormholeRun: the cycle-accurate simulation alone, with the
+// network built once and rewound with Reset between iterations — the
+// steady-state cost of the dense channel-state arrays (per-hop channel ids
+// precomputed, stamp-based per-cycle occupancy).
+func BenchmarkWormholeRun(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	m := mesh.MustNew(16, 16)
+	f := mesh.RandomNodeFaults(m, 8, rng)
+	orders := routing.UniformAscending(2, 2)
+	res, err := core.Lamb1(f, orders)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := routing.NewOracle(f)
+	msgs, err := wormhole.GenerateTraffic(o, orders, res.Lambs, wormhole.TrafficSpec{
+		Messages: 120, MinFlits: 4, MaxFlits: 16, InjectWindow: 60,
+	}, 2, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := wormhole.NewNetwork(f, wormhole.DefaultConfig(), msgs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Reset()
+		if err := n.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if n.Deadlocked {
+			b.Fatal("unexpected deadlock")
+		}
+	}
+}
+
 // Micro-benchmarks of the algorithmic stages.
 
 func BenchmarkOracleReachOne(b *testing.B) {
@@ -327,10 +373,11 @@ func BenchmarkBipartiteWVC(b *testing.B) {
 			}
 		}
 	}
+	var vs vcover.Scratch
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		vcover.SolveBipartite(g)
+		vs.SolveBipartite(g)
 	}
 }
 

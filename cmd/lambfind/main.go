@@ -5,6 +5,7 @@
 //	lambfind -mesh 32x32x32 [-torus] -k 2 [-algo lamb1|lamb2|exact|generic]
 //	         [-faults "(9,1);(11,6);(10,10)" | -fault-file faults.txt | -random 983 -seed 1]
 //	         [-workers N] [-verify] [-v]
+//	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-repeat N]
 //
 // The fault file lists one node coordinate per line ("x,y,z"); lines
 // starting with '#' are ignored. Output is the lamb set, one coordinate per
@@ -14,6 +15,14 @@
 // default, means all CPUs). The computed lamb set is bit-identical for every
 // worker count; the flag only trades wall-clock time against CPU share. The
 // generic/torus path is single-threaded and ignores it.
+//
+// -cpuprofile and -memprofile write runtime/pprof profiles of the lamb
+// computation (inspect with `go tool pprof`). The CPU profile covers only
+// the computation, not flag parsing or fault loading; the heap profile is
+// written after the computation with a forced GC, so it shows retained
+// memory rather than transient garbage. -repeat N runs the computation N
+// times through one reused Solver — the steady state the profiles should
+// capture (a single run is dominated by one-time buffer growth).
 package main
 
 import (
@@ -22,6 +31,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -47,6 +58,9 @@ func main() {
 		load      = flag.String("load", "", "load mesh+faults from a file in the lambmesh fault format (overrides -mesh)")
 		save      = flag.String("save", "", "save the mesh+faults to a file in the lambmesh fault format")
 		draw      = flag.Bool("draw", false, "draw the mesh with faults (X) and lambs (L); 2D meshes only")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the lamb computation to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile (after the computation, post-GC) to this file")
+		repeat    = flag.Int("repeat", 1, "run the computation N times through one Solver (for profiling the steady state)")
 	)
 	flag.Parse()
 
@@ -96,9 +110,40 @@ func main() {
 	}
 
 	orders := routing.UniformAscending(m.Dims(), *k)
-	res, err := computeLamb(f, orders, *algo, *workers)
-	if err != nil {
-		fatal(err)
+	if *cpuProf != "" {
+		fh, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(fh); err != nil {
+			fatal(err)
+		}
+		defer fh.Close()
+	}
+	var res *core.Result
+	var err error
+	s := core.NewSolver()
+	for i := 0; i < *repeat || i == 0; i++ {
+		res, err = computeLamb(s, f, orders, *algo, *workers)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *cpuProf != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		fh, err := os.Create(*memProf)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(fh); err != nil {
+			fatal(err)
+		}
+		if err := fh.Close(); err != nil {
+			fatal(err)
+		}
 	}
 
 	fmt.Fprintf(os.Stderr, "mesh %v, %d node faults, %d link faults, k=%d (%v)\n",
@@ -133,19 +178,20 @@ func main() {
 	}
 }
 
-// computeLamb dispatches to the selected lamb algorithm. The torus/generic
-// path has no worker knob (it is single-threaded); everywhere else the
-// result is bit-identical for any workers value.
-func computeLamb(f *mesh.FaultSet, orders routing.MultiOrder, algo string, workers int) (*core.Result, error) {
+// computeLamb dispatches to the selected lamb algorithm, running it through
+// the caller's Solver so -repeat profiles the scratch-reuse steady state. The
+// torus/generic path has no worker knob (it is single-threaded); everywhere
+// else the result is bit-identical for any workers value.
+func computeLamb(s *core.Solver, f *mesh.FaultSet, orders routing.MultiOrder, algo string, workers int) (*core.Result, error) {
 	switch {
 	case f.Mesh().Torus() || algo == "generic":
 		return core.TorusLamb(f, orders)
 	case algo == "lamb1":
-		return core.Lamb1(f, orders, core.WithWorkers(workers))
+		return s.Lamb1(f, orders, core.WithWorkers(workers))
 	case algo == "lamb2":
-		return core.Lamb2(f, orders, core.ApproxWVC, core.WithWorkers(workers))
+		return s.Lamb2(f, orders, core.ApproxWVC, core.WithWorkers(workers))
 	case algo == "exact":
-		return core.ExactLamb(f, orders, core.WithWorkers(workers))
+		return s.ExactLamb(f, orders, core.WithWorkers(workers))
 	default:
 		return nil, fmt.Errorf("unknown -algo %q", algo)
 	}

@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"testing"
 
+	"lambmesh/internal/core"
 	"lambmesh/internal/mesh"
 	"lambmesh/internal/routing"
 )
@@ -70,12 +71,12 @@ func TestWorkersFlagSameLambSet(t *testing.T) {
 	f := mesh.RandomNodeFaults(m, 12, rand.New(rand.NewSource(42)))
 	orders := routing.UniformAscending(2, 2)
 	for _, algo := range []string{"lamb1", "lamb2", "exact"} {
-		base, err := computeLamb(f, orders, algo, 1)
+		base, err := computeLamb(core.NewSolver(), f, orders, algo, 1)
 		if err != nil {
 			t.Fatalf("%s workers=1: %v", algo, err)
 		}
 		for _, workers := range []int{2, 0} {
-			got, err := computeLamb(f, orders, algo, workers)
+			got, err := computeLamb(core.NewSolver(), f, orders, algo, workers)
 			if err != nil {
 				t.Fatalf("%s workers=%d: %v", algo, workers, err)
 			}
@@ -90,7 +91,7 @@ func TestWorkersFlagSameLambSet(t *testing.T) {
 func TestComputeLambUnknownAlgo(t *testing.T) {
 	m := mesh.MustNew(8, 8)
 	f := mesh.NewFaultSet(m)
-	if _, err := computeLamb(f, routing.UniformAscending(2, 2), "nope", 1); err == nil {
+	if _, err := computeLamb(core.NewSolver(), f, routing.UniformAscending(2, 2), "nope", 1); err == nil {
 		t.Error("unknown algo should fail")
 	}
 }

@@ -159,11 +159,20 @@ func MulChain(ms ...*Matrix) *Matrix {
 // inputs are never written; the result never aliases an input unless the
 // chain has length one, in which case ms[0] itself is returned.
 func MulChainParallel(workers int, ms ...*Matrix) *Matrix {
+	var scratch [2]*Matrix
+	return MulChainScratch(workers, &scratch, ms...)
+}
+
+// MulChainScratch is MulChainParallel with a caller-owned double-buffer
+// pair, so repeated chain products (one per lamb computation, say) stop
+// allocating once the buffers have grown to the working-set size. The result
+// aliases one of the scratch buffers (or ms[0] for a length-one chain) and
+// is valid until the next call with the same pair.
+func MulChainScratch(workers int, scratch *[2]*Matrix, ms ...*Matrix) *Matrix {
 	if len(ms) == 0 {
 		panic("bitmat: empty chain")
 	}
 	cur := ms[0]
-	var scratch [2]*Matrix
 	for step, m := range ms[1:] {
 		if cur.cols != m.rows {
 			panic(fmt.Sprintf("bitmat: %dx%d * %dx%d", cur.rows, cur.cols, m.rows, m.cols))
@@ -174,6 +183,16 @@ func MulChainParallel(workers int, ms ...*Matrix) *Matrix {
 		cur = buf
 	}
 	return cur
+}
+
+// Reset returns an all-zero rows x cols matrix, reusing m's storage when it
+// is large enough (m may be nil). It is the building block of the matrix
+// pools that recycle reachability matrices across rounds and across calls.
+func (m *Matrix) Reset(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("bitmat: negative dimension")
+	}
+	return m.reset(rows, cols)
 }
 
 // reset returns an all-zero rows x cols matrix, reusing m's storage when it
@@ -214,19 +233,43 @@ func (m *Matrix) AllOnes() bool { return m.Ones() == m.rows*m.cols }
 // ZeroRows returns the indices of rows containing at least one zero —
 // the "relevant SESs" of Reduce-WVC (Figure 13).
 func (m *Matrix) ZeroRows() []int {
-	var out []int
+	return m.AppendZeroRows(nil)
+}
+
+// AppendZeroRows appends the zero-row indices to dst and returns it,
+// reusing dst's backing array — the allocation-free form of ZeroRows.
+func (m *Matrix) AppendZeroRows(dst []int) []int {
 	for i := 0; i < m.rows; i++ {
 		if m.rowOnes(i) != m.cols {
-			out = append(out, i)
+			dst = append(dst, i)
 		}
 	}
-	return out
+	return dst
 }
 
 // ZeroCols returns the indices of columns containing at least one zero —
 // the "relevant DESs" of Reduce-WVC.
 func (m *Matrix) ZeroCols() []int {
-	counts := make([]int, m.cols)
+	return m.AppendZeroCols(nil, nil)
+}
+
+// AppendZeroCols appends the zero-column indices to dst and returns it.
+// countsBuf, when non-nil, is a reusable scratch buffer for the per-column
+// popcounts (grown in place as needed); passing the same pointer across
+// calls makes this allocation-free in steady state.
+func (m *Matrix) AppendZeroCols(dst []int, countsBuf *[]int) []int {
+	var counts []int
+	if countsBuf != nil {
+		counts = *countsBuf
+	}
+	if cap(counts) < m.cols {
+		counts = make([]int, m.cols)
+		if countsBuf != nil {
+			*countsBuf = counts
+		}
+	}
+	counts = counts[:m.cols]
+	clear(counts)
 	for i := 0; i < m.rows; i++ {
 		row := m.row(i)
 		for w, word := range row {
@@ -237,13 +280,12 @@ func (m *Matrix) ZeroCols() []int {
 			}
 		}
 	}
-	var out []int
 	for j, c := range counts {
 		if c != m.rows {
-			out = append(out, j)
+			dst = append(dst, j)
 		}
 	}
-	return out
+	return dst
 }
 
 func (m *Matrix) rowOnes(i int) int {

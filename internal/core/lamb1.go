@@ -7,7 +7,6 @@ import (
 	"lambmesh/internal/reach"
 	"lambmesh/internal/rect"
 	"lambmesh/internal/routing"
-	"lambmesh/internal/vcover"
 )
 
 // Lamb1 finds a lamb set by the bipartite reduction of Section 6.3.1:
@@ -22,31 +21,43 @@ import (
 //
 // The result is a valid lamb set of size at most twice the minimum
 // (Theorem 6.7); total time O(k d^3 f^3 + |lambs|), independent of N.
+//
+// Lamb1 is a thin wrapper over a throwaway Solver; callers computing lamb
+// sets repeatedly should hold a Solver and call its Lamb1 method, which
+// produces byte-identical results without the per-call allocations.
 func Lamb1(f *mesh.FaultSet, orders routing.MultiOrder, opts ...Option) (*Result, error) {
+	return NewSolver().Lamb1(f, orders, opts...)
+}
+
+// Lamb1 is the package-level Lamb1 drawing every intermediate from the
+// Solver's scratch. The returned Result owns its memory.
+func (s *Solver) Lamb1(f *mesh.FaultSet, orders routing.MultiOrder, opts ...Option) (*Result, error) {
 	cfg := buildConfig(opts)
 	if err := validateConfig(f, cfg); err != nil {
 		return nil, err
 	}
-	compute := reach.ComputeWorkers
+	var rc *reach.Reachability
+	var err error
 	if cfg.sweep {
-		compute = reach.ComputeWithSweepWorkers
+		rc, err = reach.ComputeWithSweepScratch(f, orders, cfg.workers, &s.rs)
+	} else {
+		rc, err = reach.ComputeScratch(f, orders, cfg.workers, &s.rs)
 	}
-	rc, err := compute(f, orders, cfg.workers)
 	if err != nil {
 		return nil, err
 	}
 	sigma := rc.Sigma[0]
 	delta := rc.Delta[len(rc.Delta)-1]
 
-	zr := rc.RK.ZeroRows()
-	zc := rc.RK.ZeroCols()
+	s.zr = rc.RK.AppendZeroRows(s.zr[:0])
+	s.zc = rc.RK.AppendZeroCols(s.zc[:0], &s.colCounts)
+	zr, zc := s.zr, s.zc
 
 	pre := cfg.predeterminedIndex(f.Mesh())
-	bg := &vcover.Bipartite{
-		LeftWeight:  make([]int64, len(zr)),
-		RightWeight: make([]int64, len(zc)),
-		Edges:       make([][]int, len(zr)),
-	}
+	bg := &s.bg
+	bg.LeftWeight = growInt64s(bg.LeftWeight, len(zr))
+	bg.RightWeight = growInt64s(bg.RightWeight, len(zc))
+	bg.Edges = growLists(bg.Edges, len(zr))
 	for ii, i := range zr {
 		bg.LeftWeight[ii] = setWeight(f.Mesh(), sigma.Sets[i].Rect, cfg, pre)
 		for jj, j := range zc {
@@ -59,7 +70,7 @@ func Lamb1(f *mesh.FaultSet, orders routing.MultiOrder, opts ...Option) (*Result
 		bg.RightWeight[jj] = setWeight(f.Mesh(), delta.Sets[j].Rect, cfg, pre)
 	}
 
-	cover := vcover.SolveBipartite(bg)
+	cover := s.vs.SolveBipartite(bg)
 
 	st := Stats{
 		Faults:      f.Count(),
@@ -69,7 +80,7 @@ func Lamb1(f *mesh.FaultSet, orders routing.MultiOrder, opts ...Option) (*Result
 		RelevantDES: len(zc),
 		CoverWeight: cover.Weight,
 	}
-	return newResult(f.Mesh(), orders, cfg, st, rc, func(emit func(mesh.Coord)) {
+	res := newResult(f.Mesh(), orders, cfg, st, rc, func(emit func(mesh.Coord)) {
 		for ii, i := range zr {
 			if cover.Left[ii] {
 				sigma.Sets[i].Rect.ForEach(emit)
@@ -80,7 +91,13 @@ func Lamb1(f *mesh.FaultSet, orders routing.MultiOrder, opts ...Option) (*Result
 				delta.Sets[j].Rect.ForEach(emit)
 			}
 		}
-	}), nil
+	})
+	if cfg.keepReach {
+		// The retained Reachability references scratch arenas; hand them to
+		// the garbage collector so the next call cannot clobber it.
+		s.rs.Detach()
+	}
+	return res, nil
 }
 
 // setWeight returns the total value of the nodes of r, excluding

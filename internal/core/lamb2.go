@@ -41,12 +41,20 @@ const maxGeneralVertices = 8000
 // R^(k)(i',j) = 0. A minimum-weight vertex cover of this graph yields a
 // minimum-size lamb set; an r-approximate cover yields an r-approximate
 // lamb set (Theorem 6.9).
+//
+// Like Lamb1, the package-level Lamb2 wraps a throwaway Solver.
 func Lamb2(f *mesh.FaultSet, orders routing.MultiOrder, mode WVCMode, opts ...Option) (*Result, error) {
+	return NewSolver().Lamb2(f, orders, mode, opts...)
+}
+
+// Lamb2 is the package-level Lamb2 drawing every intermediate from the
+// Solver's scratch. The returned Result owns its memory.
+func (s *Solver) Lamb2(f *mesh.FaultSet, orders routing.MultiOrder, mode WVCMode, opts ...Option) (*Result, error) {
 	cfg := buildConfig(opts)
 	if err := validateConfig(f, cfg); err != nil {
 		return nil, err
 	}
-	rc, err := reach.ComputeWorkers(f, orders, cfg.workers)
+	rc, err := reach.ComputeScratch(f, orders, cfg.workers, &s.rs)
 	if err != nil {
 		return nil, err
 	}
@@ -56,17 +64,15 @@ func Lamb2(f *mesh.FaultSet, orders routing.MultiOrder, mode WVCMode, opts ...Op
 	pre := cfg.predeterminedIndex(m)
 
 	// Vertices: nonempty intersections.
-	type vert struct {
-		i, j int
-	}
-	var verts []vert
-	for i, s := range sigma.Sets {
+	verts := s.verts[:0]
+	for i, se := range sigma.Sets {
 		for j, d := range delta.Sets {
-			if s.Rect.Intersects(d.Rect) {
-				verts = append(verts, vert{i, j})
+			if se.Rect.Intersects(d.Rect) {
+				verts = append(verts, intersection{i, j})
 			}
 		}
 	}
+	s.verts = verts
 	if len(verts) > maxGeneralVertices {
 		return nil, fmt.Errorf("core: general reduction has %d vertices (cap %d); use Lamb1 for large instances",
 			len(verts), maxGeneralVertices)
@@ -77,17 +83,17 @@ func Lamb2(f *mesh.FaultSet, orders routing.MultiOrder, mode WVCMode, opts ...Op
 	// each other, so u_{i,j} is forced into every cover. Handle forced
 	// vertices up front — this also preserves optimality, because any lamb
 	// set must contain such an intersection entirely.
-	forced := make([]bool, len(verts))
+	s.forced = growBools(s.forced, len(verts))
+	forced := s.forced
 	for u, vv := range verts {
 		if !rc.RK.Get(vv.i, vv.j) {
 			forced[u] = true
 		}
 	}
 
-	g := &vcover.General{
-		Weight: make([]int64, len(verts)),
-		Adj:    make([][]int, len(verts)),
-	}
+	g := &s.gg
+	g.Weight = growInt64s(g.Weight, len(verts))
+	g.Adj = growLists(g.Adj, len(verts))
 	for u, vv := range verts {
 		g.Weight[u] = setWeight(m, sigma.Sets[vv.i].Rect.Intersect(delta.Sets[vv.j].Rect), cfg, pre)
 	}
@@ -111,7 +117,7 @@ func Lamb2(f *mesh.FaultSet, orders routing.MultiOrder, mode WVCMode, opts ...Op
 	case ExactWVC:
 		pick = vcover.SolveExact(g)
 	case ApproxWVC:
-		pick = vcover.Approx2(g)
+		pick = s.vs.Approx2(g)
 	default:
 		return nil, fmt.Errorf("core: unknown WVC mode %d", mode)
 	}
@@ -129,13 +135,17 @@ func Lamb2(f *mesh.FaultSet, orders routing.MultiOrder, mode WVCMode, opts ...Op
 		RelevantDES: len(rc.RK.ZeroCols()),
 		CoverWeight: g.WeightOf(pick),
 	}
-	return newResult(m, orders, cfg, st, rc, func(emit func(mesh.Coord)) {
+	res := newResult(m, orders, cfg, st, rc, func(emit func(mesh.Coord)) {
 		for u, p := range pick {
 			if p {
 				sigma.Sets[verts[u].i].Rect.Intersect(delta.Sets[verts[u].j].Rect).ForEach(emit)
 			}
 		}
-	}), nil
+	})
+	if cfg.keepReach {
+		s.rs.Detach()
+	}
+	return res, nil
 }
 
 // ExactLamb returns a minimum-size lamb set (Corollary 6.10): Lamb2 with an
@@ -144,4 +154,9 @@ func Lamb2(f *mesh.FaultSet, orders routing.MultiOrder, mode WVCMode, opts ...Op
 // ablations.
 func ExactLamb(f *mesh.FaultSet, orders routing.MultiOrder, opts ...Option) (*Result, error) {
 	return Lamb2(f, orders, ExactWVC, opts...)
+}
+
+// ExactLamb is the Solver form of the package-level ExactLamb.
+func (s *Solver) ExactLamb(f *mesh.FaultSet, orders routing.MultiOrder, opts ...Option) (*Result, error) {
+	return s.Lamb2(f, orders, ExactWVC, opts...)
 }

@@ -27,6 +27,10 @@ type Reconfigurer struct {
 	Workers int
 	// generation counts completed reconfigurations.
 	generation int
+	// solver carries the lamb pipeline's scratch across recomputes; created
+	// lazily, used only by AddFaults (callers drive a Reconfigurer from one
+	// goroutine, e.g. the lambd apply worker).
+	solver *Solver
 }
 
 // NewReconfigurer starts with a fault-free mesh and an empty lamb set.
@@ -78,7 +82,10 @@ func (r *Reconfigurer) AddFaults(nodes []mesh.Coord, links []mesh.Link) (*Result
 		}
 		opts = append(opts, WithPredetermined(stillGood))
 	}
-	res, err := Lamb1(r.faults, r.orders, opts...)
+	if r.solver == nil {
+		r.solver = NewSolver()
+	}
+	res, err := r.solver.Lamb1(r.faults, r.orders, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"lambmesh/internal/reach"
+	"lambmesh/internal/vcover"
+)
+
+// Solver owns every piece of scratch the lamb pipeline needs — partition
+// arenas, the reachability matrix pool and chain double-buffer, the
+// vertex-cover flow network, and the index/weight buffers of the WVC
+// reductions — so that repeated Lamb1/Lamb2/ExactLamb calls stop allocating
+// once the buffers reach the working-set size. That steady state is exactly
+// where the pipeline runs hot: a Reconfigurer recomputing on every fault
+// epoch, a lambd server swapping epochs, or a simulation worker running
+// thousands of trials.
+//
+// The lamb sets produced are byte-identical to the package-level one-shot
+// functions (which are themselves thin wrappers over a throwaway Solver):
+// scratch reuse changes where intermediates live, never what they hold.
+//
+// A Solver is NOT safe for concurrent use — hold one per goroutine (the
+// internal matrix fills still parallelize across cfg.workers; those workers
+// allocate nothing and write disjoint rows). Results returned by a Solver
+// own their memory (lamb coordinates are cloned out of the arenas) and stay
+// valid forever; the intermediate Reachability attached under
+// WithReachability is kept valid by detaching the scratch that backs it.
+type Solver struct {
+	rs reach.Scratch
+	vs vcover.Scratch
+
+	// Lamb1 buffers: zero rows/cols of R^(k), popcount scratch, bipartite
+	// graph backing.
+	zr, zc    []int
+	colCounts []int
+	bg        vcover.Bipartite
+
+	// Lamb2 buffers: intersection vertices, forced flags, general graph
+	// backing.
+	verts  []intersection
+	forced []bool
+	gg     vcover.General
+}
+
+// intersection identifies the nonempty SES x DES intersection u_{i,j} of the
+// Lamb2 reduction.
+type intersection struct {
+	i, j int
+}
+
+// NewSolver returns an empty Solver. Buffers grow on demand and are retained
+// between calls.
+func NewSolver() *Solver {
+	return &Solver{}
+}
+
+// growInt64s reslices b to n int64s, reallocating only on growth. Entries
+// are not zeroed; callers overwrite every index.
+func growInt64s(b []int64, n int) []int64 {
+	if cap(b) < n {
+		return make([]int64, n)
+	}
+	return b[:n]
+}
+
+// growBools reslices b to n zeroed bools, reallocating only on growth.
+func growBools(b []bool, n int) []bool {
+	if cap(b) < n {
+		return make([]bool, n)
+	}
+	b = b[:n]
+	clear(b)
+	return b
+}
+
+// growLists reslices ls to n empty-but-capacitated []int entries,
+// reallocating the spine only on growth. Inner slices keep their backing
+// arrays, so adjacency lists rebuilt every call stop allocating once each
+// slot has seen its deepest list.
+func growLists(ls [][]int, n int) [][]int {
+	if cap(ls) < n {
+		ls = append(ls[:cap(ls)], make([][]int, n-cap(ls))...)
+	}
+	ls = ls[:n]
+	for i := range ls {
+		ls[i] = ls[i][:0]
+	}
+	return ls
+}

@@ -13,11 +13,22 @@ import "math"
 const Inf int64 = math.MaxInt64 / 4
 
 // Graph is a flow network under construction. Vertices are dense integers
-// 0..n-1; add edges, then call MaxFlow once.
+// 0..n-1; add edges, then call MaxFlow once (per Reset). The zero value is an
+// empty 0-vertex network; Reset rebuilds any Graph for a new instance while
+// reusing its adjacency and traversal buffers, so a long-lived Graph (one per
+// vcover.Scratch, say) stops allocating once it has seen its largest
+// instance.
 type Graph struct {
 	n     int
 	heads []edge
 	adj   [][]int // adj[v] lists indices into heads
+
+	// Traversal scratch, reused across MaxFlow/ResidualReachable calls.
+	level []int
+	iter  []int
+	queue []int
+	seen  []bool
+	stack []int
 }
 
 type edge struct {
@@ -27,7 +38,25 @@ type edge struct {
 
 // New returns an empty flow network with n vertices.
 func New(n int) *Graph {
-	return &Graph{n: n, adj: make([][]int, n)}
+	return new(Graph).Reset(n)
+}
+
+// Reset makes g an empty flow network with n vertices, reusing every buffer
+// from previous instances. Edge ids from before the Reset are invalid.
+func (g *Graph) Reset(n int) *Graph {
+	if n < 0 {
+		panic("maxflow: negative vertex count")
+	}
+	g.n = n
+	g.heads = g.heads[:0]
+	if cap(g.adj) < n {
+		g.adj = append(g.adj[:cap(g.adj)], make([][]int, n-cap(g.adj))...)
+	}
+	g.adj = g.adj[:n]
+	for i := range g.adj {
+		g.adj[i] = g.adj[i][:0]
+	}
+	return g
 }
 
 // AddEdge adds a directed edge from u to v with the given capacity (and its
@@ -58,15 +87,16 @@ func (g *Graph) Flow(id int) int64 {
 func (g *Graph) Capacity(id int) int64 { return g.heads[id].cap }
 
 // MaxFlow computes the maximum s-t flow and mutates the network into its
-// residual form. Call at most once.
+// residual form. Call at most once per Reset.
 func (g *Graph) MaxFlow(s, t int) int64 {
 	if s == t {
 		panic("maxflow: source equals sink")
 	}
 	var total int64
-	level := make([]int, g.n)
-	iter := make([]int, g.n)
-	queue := make([]int, 0, g.n)
+	level := growInts(&g.level, g.n)
+	iter := growInts(&g.iter, g.n)
+	queue := g.queue[:0]
+	defer func() { g.queue = queue }()
 	for g.bfs(s, t, level, &queue) {
 		for i := range iter {
 			iter[i] = 0
@@ -126,11 +156,18 @@ func (g *Graph) dfs(v, t int, f int64, level, iter []int) int64 {
 
 // ResidualReachable returns, per vertex, whether it is reachable from s in
 // the residual network. After MaxFlow this identifies the source side of a
-// minimum cut, which is how the WVC reduction extracts the cover.
+// minimum cut, which is how the WVC reduction extracts the cover. The
+// returned slice is graph-owned scratch: valid until the next
+// ResidualReachable or Reset on g.
 func (g *Graph) ResidualReachable(s int) []bool {
-	seen := make([]bool, g.n)
+	if cap(g.seen) < g.n {
+		g.seen = make([]bool, g.n)
+	}
+	seen := g.seen[:g.n]
+	clear(seen)
 	seen[s] = true
-	stack := []int{s}
+	stack := append(g.stack[:0], s)
+	defer func() { g.stack = stack }()
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -143,6 +180,16 @@ func (g *Graph) ResidualReachable(s int) []bool {
 		}
 	}
 	return seen
+}
+
+// growInts reslices *buf to n zeroed ints, reallocating only on growth.
+func growInts(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	out := (*buf)[:n]
+	clear(out)
+	return out
 }
 
 func min64(a, b int64) int64 {

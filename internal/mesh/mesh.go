@@ -88,6 +88,11 @@ func (m *Mesh) Widths() []int { return append([]int(nil), m.widths...) }
 // Nodes returns N, the total number of nodes.
 func (m *Mesh) Nodes() int64 { return m.n }
 
+// Stride returns the linear-index stride of dimension i: incrementing
+// coordinate i by one moves the Index by Stride(i). Exposed so hot query
+// paths can walk indices incrementally instead of materializing coordinates.
+func (m *Mesh) Stride(i int) int64 { return m.strides[i] }
+
 // Torus reports whether the topology has wrap-around links.
 func (m *Mesh) Torus() bool { return m.torus }
 

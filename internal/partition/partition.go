@@ -16,9 +16,6 @@
 package partition
 
 import (
-	"fmt"
-	"sort"
-
 	"lambmesh/internal/mesh"
 	"lambmesh/internal/rect"
 	"lambmesh/internal/routing"
@@ -66,7 +63,7 @@ func (p *Partition) Len() int { return len(p.Sets) }
 // of size at most B(d,f) <= (2d-1)f+1 (Theorem 6.4). Only meshes are
 // supported; for tori use the generic-topology path in package core.
 func SES(f *mesh.FaultSet, pi routing.Order) (*Partition, error) {
-	return find(f, pi, Source)
+	return new(Scratch).find(f, pi, Source)
 }
 
 // DES returns a DES partition for fault set f and 1-round ordering pi, with
@@ -75,205 +72,5 @@ func SES(f *mesh.FaultSet, pi routing.Order) (*Partition, error) {
 // set with every faulty link's direction reversed, so that one-directional
 // link faults are handled exactly.
 func DES(f *mesh.FaultSet, pi routing.Order) (*Partition, error) {
-	return find(f, pi, Destination)
-}
-
-func find(f *mesh.FaultSet, pi routing.Order, kind Kind) (*Partition, error) {
-	m := f.Mesh()
-	if m.Torus() {
-		return nil, fmt.Errorf("partition: the rectangular partition algorithm requires a mesh, not a torus (use the generic path)")
-	}
-	if err := pi.Validate(m.Dims()); err != nil {
-		return nil, err
-	}
-	order := pi
-	reverseLinks := false
-	if kind == Destination {
-		order = pi.Reverse()
-		reverseLinks = true
-	}
-
-	// Work in a coordinate space permuted so that `order` becomes the
-	// ascending ordering: working dimension t is original dimension
-	// order[t]. The recursion then always peels the last working dimension,
-	// which is the last-corrected one.
-	d := m.Dims()
-	widths := make([]int, d)
-	for t := 0; t < d; t++ {
-		widths[t] = m.Width(order[t])
-	}
-	inv := make([]int, d) // inv[original dim] = working dim
-	for t, dim := range order {
-		inv[dim] = t
-	}
-
-	nodes := make([]mesh.Coord, 0, f.NumNodeFaults())
-	for _, c := range f.NodeFaults() {
-		nodes = append(nodes, permuteCoord(c, order))
-	}
-	links := make([]mesh.Link, 0, f.NumLinkFaults())
-	for _, l := range f.LinkFaults() {
-		wl := mesh.Link{From: permuteCoord(l.From, order), Dim: inv[l.Dim], Dir: l.Dir}
-		if reverseLinks {
-			// Reverse the directed link: new tail is the old head.
-			wl.From = wl.From.Clone()
-			wl.From[wl.Dim] += wl.Dir
-			wl.Dir = -wl.Dir
-		}
-		links = append(links, wl)
-	}
-
-	work := findAscending(widths, nodes, links)
-
-	p := &Partition{Kind: kind, Order: pi, Sets: make([]Set, 0, len(work))}
-	for _, wr := range work {
-		r := wr.Permute(inv) // r[original dim j] = wr[inv[j]]
-		p.Sets = append(p.Sets, Set{Rect: r, Rep: r.MinCorner()})
-	}
-	return p, nil
-}
-
-// permuteCoord maps an original coordinate into working space: out[t] =
-// c[order[t]].
-func permuteCoord(c mesh.Coord, order routing.Order) mesh.Coord {
-	out := make(mesh.Coord, len(c))
-	for t, dim := range order {
-		out[t] = c[dim]
-	}
-	return out
-}
-
-// findAscending is Find-SES-Partition (Figure 11) for the ascending
-// ordering, in working coordinates. It returns rectangular sets of shape
-// (*,...,*,[l,r],c,...,c) that partition the good nodes.
-func findAscending(widths []int, nodeFaults []mesh.Coord, linkFaults []mesh.Link) []rect.Rect {
-	d := len(widths)
-	if d == 1 {
-		return base1D(widths[0], nodeFaults, linkFaults)
-	}
-	last := d - 1
-	n := widths[last]
-
-	// Step 2(a): H is the set of last-coordinate values whose slice is
-	// "dirty". Node faults and links along dimensions < last dirty their
-	// own slice; a link along the last dimension spans two slices and
-	// dirties both.
-	dirty := make(map[int]bool)
-	for _, c := range nodeFaults {
-		dirty[c[last]] = true
-	}
-	for _, l := range linkFaults {
-		if l.Dim != last {
-			dirty[l.From[last]] = true
-		} else {
-			dirty[l.From[last]] = true
-			dirty[l.From[last]+l.Dir] = true
-		}
-	}
-	H := make([]int, 0, len(dirty))
-	for c := range dirty {
-		H = append(H, c)
-	}
-	sort.Ints(H)
-
-	var out []rect.Rect
-
-	// Step 2(b): recurse into each dirty slice with the faults that live
-	// wholly inside it (the paper's F/c), then extend each returned set
-	// with the fixed last coordinate (Lemma 6.1).
-	for _, c := range H {
-		var subNodes []mesh.Coord
-		for _, v := range nodeFaults {
-			if v[last] == c {
-				subNodes = append(subNodes, v[:last])
-			}
-		}
-		var subLinks []mesh.Link
-		for _, l := range linkFaults {
-			if l.Dim != last && l.From[last] == c {
-				subLinks = append(subLinks, mesh.Link{From: l.From[:last], Dim: l.Dim, Dir: l.Dir})
-			}
-		}
-		for _, sub := range findAscending(widths[:last], subNodes, subLinks) {
-			r := make(rect.Rect, d)
-			copy(r, sub)
-			r[last] = rect.Interval{Lo: c, Hi: c}
-			out = append(out, r)
-		}
-	}
-
-	// Steps 2(c)-(d): the clean slice values, grouped into maximal runs,
-	// become full-width sets (*,...,*,[l,r]) (Lemma 6.3).
-	for _, iv := range cleanRuns(n, dirty) {
-		r := make(rect.Rect, d)
-		for j := 0; j < last; j++ {
-			r[j] = rect.Interval{Lo: 0, Hi: widths[j] - 1}
-		}
-		r[last] = iv
-		out = append(out, r)
-	}
-	return out
-}
-
-// base1D is the d=1 base case (step 1 of Figure 11): maximal intervals of
-// good nodes containing no node fault and not spanning any faulty link.
-func base1D(n int, nodeFaults []mesh.Coord, linkFaults []mesh.Link) []rect.Rect {
-	faulty := make(map[int]bool)
-	for _, c := range nodeFaults {
-		faulty[c[0]] = true
-	}
-	// cutAfter[c]: no interval may contain both c and c+1 (a link between
-	// them failed in at least one direction).
-	cutAfter := make(map[int]bool)
-	for _, l := range linkFaults {
-		if l.Dir > 0 {
-			cutAfter[l.From[0]] = true
-		} else {
-			cutAfter[l.From[0]-1] = true
-		}
-	}
-	var out []rect.Rect
-	start := -1
-	flush := func(end int) {
-		if start >= 0 {
-			out = append(out, rect.Rect{rect.Interval{Lo: start, Hi: end}})
-			start = -1
-		}
-	}
-	for v := 0; v < n; v++ {
-		if faulty[v] {
-			flush(v - 1)
-			continue
-		}
-		if start < 0 {
-			start = v
-		}
-		if cutAfter[v] {
-			flush(v)
-		}
-	}
-	flush(n - 1)
-	return out
-}
-
-// cleanRuns partitions [0,n-1] minus the dirty values into maximal runs.
-func cleanRuns(n int, dirty map[int]bool) []rect.Interval {
-	var out []rect.Interval
-	start := -1
-	for v := 0; v < n; v++ {
-		if dirty[v] {
-			if start >= 0 {
-				out = append(out, rect.Interval{Lo: start, Hi: v - 1})
-				start = -1
-			}
-			continue
-		}
-		if start < 0 {
-			start = v
-		}
-	}
-	if start >= 0 {
-		out = append(out, rect.Interval{Lo: start, Hi: n - 1})
-	}
-	return out
+	return new(Scratch).find(f, pi, Destination)
 }

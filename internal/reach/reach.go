@@ -42,6 +42,62 @@ type Reachability struct {
 	RK *bitmat.Matrix
 }
 
+// Scratch owns the reusable buffers of a Find-Reachability computation: the
+// partition arenas and a pool of bit matrices (R_t, I_t, and the chain
+// double-buffer behind R^(k)) recycled across rounds and across calls. In
+// steady state a ComputeScratch call allocates only the small Reachability
+// header and its slices — the lamb pipeline's per-epoch cost stops scaling
+// with allocator traffic.
+//
+// Ownership contract: a Reachability returned by ComputeScratch (or
+// ComputeWithSweepScratch) references scratch-owned memory and stays valid
+// only until the next Compute call with the same Scratch. Callers that
+// retain one across calls must first call Detach, which hands the current
+// buffers over to the garbage collector. A Scratch serializes the rounds it
+// builds and is not safe for concurrent use; the zero value is ready.
+type Scratch struct {
+	// Part holds the SES/DES arenas; exported so callers composing larger
+	// pipelines (core.Solver) can Detach or inspect it directly.
+	Part partition.Scratch
+
+	pool    []*bitmat.Matrix
+	used    int
+	chain   [2]*bitmat.Matrix
+	chainMs []*bitmat.Matrix
+	sweep   [][]bool
+}
+
+func (s *Scratch) reset() {
+	s.Part.Reset()
+	s.used = 0
+}
+
+// Detach forgets every buffer the Scratch owns, so Reachability values
+// previously returned with it stay valid indefinitely. The next call starts
+// from fresh allocations.
+func (s *Scratch) Detach() {
+	s.Part.Detach()
+	s.pool, s.used = nil, 0
+	s.chain = [2]*bitmat.Matrix{}
+	s.chainMs = nil
+	s.sweep = nil
+}
+
+// mat returns an all-zero rows x cols matrix from the pool, growing the pool
+// on first use of each slot.
+func (s *Scratch) mat(rows, cols int) *bitmat.Matrix {
+	if s.used < len(s.pool) {
+		m := s.pool[s.used].Reset(rows, cols)
+		s.pool[s.used] = m
+		s.used++
+		return m
+	}
+	m := bitmat.New(rows, cols)
+	s.pool = append(s.pool, m)
+	s.used++
+	return m
+}
+
 // Compute runs Find-Reachability for fault set f and the k-round ordering
 // on all CPUs. Identical per-round orderings share partitions and matrices,
 // as the paper notes (R_1 = R_2 = ... and I_1 = I_2 = ... for a uniform
@@ -58,10 +114,24 @@ func Compute(f *mesh.FaultSet, orders routing.MultiOrder) (*Reachability, error)
 // row-block parallel. Every parallel loop writes disjoint matrix rows, so
 // the result is bit-identical for every worker count.
 func ComputeWorkers(f *mesh.FaultSet, orders routing.MultiOrder, workers int) (*Reachability, error) {
+	return ComputeScratch(f, orders, workers, nil)
+}
+
+// ComputeScratch is ComputeWorkers drawing every buffer from s. A nil s
+// means "no reuse" and reproduces ComputeWorkers exactly. With a non-nil s
+// the distinct rounds of a non-uniform ordering are built serially (they
+// share the partition arenas) — the row-parallel matrix fills and the chain
+// product keep their full parallelism, and results remain bit-identical to
+// the scratch-free path for every worker count.
+func ComputeScratch(f *mesh.FaultSet, orders routing.MultiOrder, workers int, s *Scratch) (*Reachability, error) {
 	if err := orders.Validate(f.Mesh().Dims()); err != nil {
 		return nil, err
 	}
 	workers = par.Clamp(workers)
+	shared := s != nil
+	if shared {
+		s.reset()
+	}
 	o := routing.NewOracle(f)
 	k := orders.Rounds()
 	rc := &Reachability{
@@ -89,23 +159,32 @@ func ComputeWorkers(f *mesh.FaultSet, orders routing.MultiOrder, workers int) (*
 			distinct = append(distinct, rd)
 		}
 	}
-	par.Do(workers, len(distinct), func(i int) {
-		rd := distinct[i]
+	buildRound := func(rd *roundData, ps *partition.Scratch, alloc func(rows, cols int) *bitmat.Matrix) {
 		pi := orders[rd.round]
-		sigma, err := partition.SES(f, pi)
+		sigma, err := ps.SES(f, pi)
 		if err != nil {
 			rd.err = err
 			return
 		}
-		delta, err := partition.DES(f, pi)
+		delta, err := ps.DES(f, pi)
 		if err != nil {
 			rd.err = err
 			return
 		}
 		rd.sigma = sigma
 		rd.delta = delta
-		rd.r = oneRoundMatrix(o, pi, sigma, delta, workers)
-	})
+		rd.r = alloc(sigma.Len(), delta.Len())
+		oneRoundMatrix(rd.r, o, pi, sigma, delta, workers)
+	}
+	if shared {
+		for _, rd := range distinct {
+			buildRound(rd, &s.Part, s.mat)
+		}
+	} else {
+		par.Do(workers, len(distinct), func(i int) {
+			buildRound(distinct[i], new(partition.Scratch), bitmat.New)
+		})
+	}
 	for _, rd := range distinct {
 		if rd.err != nil {
 			return nil, rd.err
@@ -133,28 +212,48 @@ func ComputeWorkers(f *mesh.FaultSet, orders routing.MultiOrder, workers int) (*
 		iof[t] = di
 	}
 	ims := make([]*bitmat.Matrix, len(idistinct))
-	par.Do(workers, len(idistinct), func(i int) {
+	buildI := func(i int, alloc func(rows, cols int) *bitmat.Matrix) {
 		t := idistinct[i]
-		ims[i] = intersectionMatrix(rc.Delta[t], rc.Sigma[t+1], workers)
-	})
+		ims[i] = alloc(rc.Delta[t].Len(), rc.Sigma[t+1].Len())
+		intersectionMatrix(ims[i], rc.Delta[t], rc.Sigma[t+1], workers)
+	}
+	if shared {
+		for i := range idistinct {
+			buildI(i, s.mat)
+		}
+	} else {
+		par.Do(workers, len(idistinct), func(i int) {
+			buildI(i, bitmat.New)
+		})
+	}
 	for t := 0; t < k-1; t++ {
 		rc.I[t] = ims[iof[t]]
 	}
 
 	// R^(k) = R_1 I_1 R_2 ... I_{k-1} R_k.
-	chain := make([]*bitmat.Matrix, 0, 2*k-1)
-	chain = append(chain, rc.R[0])
-	for t := 0; t < k-1; t++ {
-		chain = append(chain, rc.I[t], rc.R[t+1])
+	var chainMs []*bitmat.Matrix
+	if shared {
+		chainMs = s.chainMs[:0]
+	} else {
+		chainMs = make([]*bitmat.Matrix, 0, 2*k-1)
 	}
-	rc.RK = bitmat.MulChainParallel(workers, chain...)
+	chainMs = append(chainMs, rc.R[0])
+	for t := 0; t < k-1; t++ {
+		chainMs = append(chainMs, rc.I[t], rc.R[t+1])
+	}
+	if shared {
+		s.chainMs = chainMs
+		rc.RK = bitmat.MulChainScratch(workers, &s.chain, chainMs...)
+	} else {
+		rc.RK = bitmat.MulChainParallel(workers, chainMs...)
+	}
 	return rc, nil
 }
 
-// oneRoundMatrix fills R_t by querying the oracle on representatives
-// (Lemma 4.1), one row of SESs per worker at a time.
-func oneRoundMatrix(o *routing.Oracle, pi routing.Order, sigma, delta *partition.Partition, workers int) *bitmat.Matrix {
-	r := bitmat.New(sigma.Len(), delta.Len())
+// oneRoundMatrix fills r (all-zero, |sigma| x |delta|) with R_t by querying
+// the oracle on representatives (Lemma 4.1), one row of SESs per worker at a
+// time.
+func oneRoundMatrix(r *bitmat.Matrix, o *routing.Oracle, pi routing.Order, sigma, delta *partition.Partition, workers int) {
 	par.Do(workers, sigma.Len(), func(i int) {
 		s := sigma.Sets[i]
 		for j, d := range delta.Sets {
@@ -163,14 +262,12 @@ func oneRoundMatrix(o *routing.Oracle, pi routing.Order, sigma, delta *partition
 			}
 		}
 	})
-	return r
 }
 
-// intersectionMatrix fills I_t: I(j,i) = 1 iff D_j and S_i share a node.
-// Each test is O(d) on the rectangular abbreviations; rows are filled in
-// parallel.
-func intersectionMatrix(delta, sigma *partition.Partition, workers int) *bitmat.Matrix {
-	im := bitmat.New(delta.Len(), sigma.Len())
+// intersectionMatrix fills im (all-zero, |delta| x |sigma|) with I_t:
+// I(j,i) = 1 iff D_j and S_i share a node. Each test is O(d) on the
+// rectangular abbreviations; rows are filled in parallel.
+func intersectionMatrix(im *bitmat.Matrix, delta, sigma *partition.Partition, workers int) {
 	par.Do(workers, delta.Len(), func(j int) {
 		d := delta.Sets[j]
 		for i, s := range sigma.Sets {
@@ -179,7 +276,6 @@ func intersectionMatrix(delta, sigma *partition.Partition, workers int) *bitmat.
 			}
 		}
 	})
-	return im
 }
 
 // ComputeWithSweep is the footnote-7 alternative to Compute: identical
@@ -199,11 +295,24 @@ func ComputeWithSweep(f *mesh.FaultSet, orders routing.MultiOrder) (*Reachabilit
 // R^(k), so rows are distributed over the pool with no effect on the
 // result.
 func ComputeWithSweepWorkers(f *mesh.FaultSet, orders routing.MultiOrder, workers int) (*Reachability, error) {
+	return ComputeWithSweepScratch(f, orders, workers, nil)
+}
+
+// ComputeWithSweepScratch is the Scratch-drawing form of
+// ComputeWithSweepWorkers (nil s means "no reuse"). Each worker block sweeps
+// through one reusable node-set buffer, so in steady state the only per-call
+// allocations are the Reachability header and the oracle's fault index.
+func ComputeWithSweepScratch(f *mesh.FaultSet, orders routing.MultiOrder, workers int, s *Scratch) (*Reachability, error) {
 	if err := orders.Validate(f.Mesh().Dims()); err != nil {
 		return nil, err
 	}
 	if f.Mesh().Torus() {
 		return nil, fmt.Errorf("reach: the sweep method requires a mesh")
+	}
+	workers = par.Clamp(workers)
+	shared := s != nil
+	if shared {
+		s.reset()
 	}
 	o := routing.NewOracle(f)
 	k := orders.Rounds()
@@ -213,11 +322,15 @@ func ComputeWithSweepWorkers(f *mesh.FaultSet, orders routing.MultiOrder, worker
 		Sigma:  make([]*partition.Partition, k),
 		Delta:  make([]*partition.Partition, k),
 	}
-	sigma, err := partition.SES(f, orders[0])
+	ps := new(partition.Scratch)
+	if shared {
+		ps = &s.Part
+	}
+	sigma, err := ps.SES(f, orders[0])
 	if err != nil {
 		return nil, err
 	}
-	delta, err := partition.DES(f, orders[k-1])
+	delta, err := ps.DES(f, orders[k-1])
 	if err != nil {
 		return nil, err
 	}
@@ -226,15 +339,53 @@ func ComputeWithSweepWorkers(f *mesh.FaultSet, orders routing.MultiOrder, worker
 		rc.Delta[t] = delta
 	}
 	m := f.Mesh()
-	rk := bitmat.New(sigma.Len(), delta.Len())
-	par.Do(workers, sigma.Len(), func(i int) {
-		set := o.ReachKSetSweep(orders, sigma.Sets[i].Rep)
-		for j, d := range delta.Sets {
-			if set[m.Index(d.Rep)] {
-				rk.Set(i, j)
+	var rk *bitmat.Matrix
+	if shared {
+		rk = s.mat(sigma.Len(), delta.Len())
+	} else {
+		rk = bitmat.New(sigma.Len(), delta.Len())
+	}
+	// Rows are distributed in contiguous blocks, one reusable sweep buffer
+	// per block (par.Do would not tell us which worker runs an index, so the
+	// blocking is computed here). Any blocking yields the same bits: rows are
+	// disjoint.
+	rows := sigma.Len()
+	nb := workers
+	if nb > rows {
+		nb = rows
+	}
+	if nb > 0 {
+		chunk := (rows + nb - 1) / nb
+		if shared {
+			for len(s.sweep) < nb {
+				s.sweep = append(s.sweep, nil)
 			}
 		}
-	})
+		par.Do(workers, nb, func(b int) {
+			lo, hi := b*chunk, (b+1)*chunk
+			if hi > rows {
+				hi = rows
+			}
+			var buf []bool
+			if shared {
+				buf = s.sweep[b]
+			}
+			if len(buf) != int(m.Nodes()) {
+				buf = make([]bool, m.Nodes())
+				if shared {
+					s.sweep[b] = buf
+				}
+			}
+			for i := lo; i < hi; i++ {
+				set := o.ReachKSetSweepInto(orders, sigma.Sets[i].Rep, buf)
+				for j, d := range delta.Sets {
+					if set[m.Index(d.Rep)] {
+						rk.Set(i, j)
+					}
+				}
+			}
+		})
+	}
 	rc.RK = rk
 	return rc, nil
 }

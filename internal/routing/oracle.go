@@ -80,30 +80,36 @@ func (o *Oracle) Faults() *mesh.FaultSet { return o.f }
 // ReachOne reports whether w is (F,pi)-reachable from v: whether the unique
 // pi-ordered route from v to w visits no faulty node and traverses no faulty
 // link. In particular both v and w must be good.
+//
+// The route position is tracked as an incremental linear index rather than a
+// materialized coordinate: each dimension appears in pi exactly once, so when
+// dim comes up the current position still has v's coordinate there, and the
+// profile index of the segment's line is idx - v[dim]*Stride(dim). This keeps
+// the query allocation-free — it runs millions of times per lamb computation.
 func (o *Oracle) ReachOne(pi Order, v, w mesh.Coord) bool {
 	if o.f.NodeFaulty(v) || o.f.NodeFaulty(w) {
 		return false
 	}
-	cur := v.Clone()
+	idx := o.m.Index(v)
 	for _, dim := range pi {
-		a, b := cur[dim], w[dim]
+		a, b := v[dim], w[dim]
 		if a == b {
 			continue
 		}
-		if !o.segmentClear(cur, dim, a, b) {
+		stride := o.m.Stride(dim)
+		if !o.segmentClear(idx-int64(a)*stride, dim, a, b) {
 			return false
 		}
-		cur[dim] = b
+		idx += int64(b-a) * stride
 	}
 	return true
 }
 
 // segmentClear reports whether the route segment along dim from coordinate a
-// to b (at the line defined by cur's other coordinates) avoids all node and
-// link faults. On a torus the segment takes the minimal direction, breaking
-// ties toward +.
-func (o *Oracle) segmentClear(cur mesh.Coord, dim, a, b int) bool {
-	p := o.m.ProfileIndex(cur, dim)
+// to b (at the line identified by profile index p) avoids all node and link
+// faults. On a torus the segment takes the minimal direction, breaking ties
+// toward +.
+func (o *Oracle) segmentClear(p int64, dim, a, b int) bool {
 	nodes := o.nodeIdx[dim][p]
 	if !o.m.Torus() {
 		lo, hi := a, b

@@ -33,29 +33,47 @@ func (o *Oracle) ReachableSetSweep(pi Order, from []bool) []bool {
 		idx++
 	})
 	for _, dim := range pi {
-		cur = o.sweepDim(dim, cur)
+		o.sweepDim(dim, cur)
 	}
 	return cur
 }
 
 // ReachKSetSweep is the k-round version from a single source.
 func (o *Oracle) ReachKSetSweep(orders MultiOrder, v mesh.Coord) []bool {
-	cur := make([]bool, o.m.Nodes())
-	cur[o.m.Index(v)] = true
-	for _, pi := range orders {
-		cur = o.ReachableSetSweep(pi, cur)
-	}
-	return cur
+	return o.ReachKSetSweepInto(orders, v, make([]bool, o.m.Nodes()))
 }
 
-// sweepDim propagates reachability along one dimension of every line: a
-// node is reachable if it was already, or if its predecessor on the line is
-// and the connecting link and the node itself are good. Both directions
-// are swept; on a torus the sweeps wrap around (two passes suffice).
-func (o *Oracle) sweepDim(dim int, in []bool) []bool {
+// ReachKSetSweepInto is ReachKSetSweep writing into the caller-provided
+// buffer buf (length Nodes()), which is cleared first and returned. Sweeps
+// never mark faulty nodes and the seed is a good node, so the per-round
+// good-member reseeding of ReachableSetSweep is a no-op here and every round
+// can sweep the one buffer in place — the hot loop of the footnote-7
+// reachability path allocates nothing.
+func (o *Oracle) ReachKSetSweepInto(orders MultiOrder, v mesh.Coord, buf []bool) []bool {
+	if o.m.Torus() {
+		panic("routing: ReachKSetSweepInto is defined for meshes, not tori")
+	}
+	clear(buf)
+	if o.f.NodeFaulty(v) {
+		return buf
+	}
+	buf[o.m.Index(v)] = true
+	for _, pi := range orders {
+		for _, dim := range pi {
+			o.sweepDim(dim, buf)
+		}
+	}
+	return buf
+}
+
+// sweepDim propagates reachability along one dimension of every line, in
+// place: a node is reachable if it was already, or if its predecessor on the
+// line is and the connecting link and the node itself are good. Both
+// directions are swept. In-place is sound because each line's passes read
+// and write only that line's entries of out, exactly as the passes would
+// over a copied buffer.
+func (o *Oracle) sweepDim(dim int, out []bool) {
 	m := o.m
-	out := make([]bool, len(in))
-	copy(out, in)
 	width := m.Width(dim)
 	stride := int64(1)
 	for i := 0; i < dim; i++ {
@@ -86,7 +104,6 @@ func (o *Oracle) sweepDim(dim int, in []bool) []bool {
 		c[d] = 0
 	}
 	walk(0)
-	return out
 }
 
 // sweepLine performs the +/- passes over one line. c has coordinate dim

@@ -39,13 +39,26 @@ func (c Config) trials() int {
 // pool. Each trial gets its own deterministic RNG, so results do not depend
 // on scheduling.
 func ForEachTrial(cfg Config, trials int, fn func(trial int, rng *rand.Rand)) {
+	ForEachTrialSolver(cfg, trials, func(t int, rng *rand.Rand, _ *core.Solver) {
+		fn(t, rng)
+	})
+}
+
+// ForEachTrialSolver is ForEachTrial handing each worker goroutine one
+// long-lived core.Solver, so per-trial lamb computations amortize their
+// scratch across the whole run instead of allocating per trial. A Solver is
+// confined to its worker (it is not safe for concurrent use); trial results
+// stay independent of scheduling because the Solver only carries buffers,
+// never results.
+func ForEachTrialSolver(cfg Config, trials int, fn func(trial int, rng *rand.Rand, s *core.Solver)) {
 	workers := cfg.workers()
 	if workers > trials {
 		workers = trials
 	}
 	if workers <= 1 {
+		s := core.NewSolver()
 		for t := 0; t < trials; t++ {
-			fn(t, rand.New(rand.NewSource(cfg.Seed+int64(t))))
+			fn(t, rand.New(rand.NewSource(cfg.Seed+int64(t))), s)
 		}
 		return
 	}
@@ -55,8 +68,9 @@ func ForEachTrial(cfg Config, trials int, fn func(trial int, rng *rand.Rand)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			s := core.NewSolver()
 			for t := range next {
-				fn(t, rand.New(rand.NewSource(cfg.Seed+int64(t))))
+				fn(t, rand.New(rand.NewSource(cfg.Seed+int64(t))), s)
 			}
 		}()
 	}
@@ -83,16 +97,30 @@ type LambObservation struct {
 // saturates the machine with concurrent trials, so nesting per-trial
 // parallelism would only add scheduling noise to the timings.
 func RunLambTrial(m *mesh.Mesh, faults, k int, rng *rand.Rand) LambObservation {
-	return RunLambTrialWorkers(m, faults, k, 1, rng)
+	return RunLambTrialSolver(m, faults, k, rng, core.NewSolver())
+}
+
+// RunLambTrialSolver is RunLambTrial computing through the caller's Solver —
+// the steady-state form the trial pools and benchmarks use, where the same
+// Solver serves every trial a worker runs. The observation is identical to
+// RunLambTrial's for the same rng stream.
+func RunLambTrialSolver(m *mesh.Mesh, faults, k int, rng *rand.Rand, s *core.Solver) LambObservation {
+	return RunLambTrialSolverWorkers(m, faults, k, 1, rng, s)
 }
 
 // RunLambTrialWorkers is RunLambTrial with an explicit worker-pool size for
 // the Lamb1 reachability kernels (<= 0 means NumCPU). The benchmarks use it
 // to measure the single-trial hot path at workers=1 vs workers=NumCPU.
 func RunLambTrialWorkers(m *mesh.Mesh, faults, k, workers int, rng *rand.Rand) LambObservation {
+	return RunLambTrialSolverWorkers(m, faults, k, workers, rng, core.NewSolver())
+}
+
+// RunLambTrialSolverWorkers is the fully explicit trial: caller's Solver,
+// caller's worker-pool size. Every other Run* form delegates here.
+func RunLambTrialSolverWorkers(m *mesh.Mesh, faults, k, workers int, rng *rand.Rand, s *core.Solver) LambObservation {
 	fs := mesh.RandomNodeFaults(m, faults, rng)
 	start := time.Now()
-	res, err := core.Lamb1(fs, routing.UniformAscending(m.Dims(), k), core.WithWorkers(workers))
+	res, err := s.Lamb1(fs, routing.UniformAscending(m.Dims(), k), core.WithWorkers(workers))
 	if err != nil {
 		panic(err) // experiment misconfiguration; inputs are validated upstream
 	}
@@ -116,8 +144,8 @@ type PointStats struct {
 func RunLambPoint(cfg Config, m *mesh.Mesh, faults, k int) *PointStats {
 	ps := &PointStats{Faults: faults}
 	var mu sync.Mutex
-	ForEachTrial(cfg, cfg.trials(), func(_ int, rng *rand.Rand) {
-		obs := RunLambTrial(m, faults, k, rng)
+	ForEachTrialSolver(cfg, cfg.trials(), func(_ int, rng *rand.Rand, s *core.Solver) {
+		obs := RunLambTrialSolver(m, faults, k, rng, s)
 		mu.Lock()
 		ps.Lambs.Add(float64(obs.Lambs))
 		ps.SES.Add(float64(obs.SES))

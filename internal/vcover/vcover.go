@@ -39,14 +39,35 @@ type Cover struct {
 	Weight int64
 }
 
+// Scratch owns the reusable state of repeated vertex-cover solves: the flow
+// network behind SolveBipartite and the edge-list/weight buffers behind
+// Approx2. Covers and picks returned through a Scratch reference
+// scratch-owned memory and are valid until the next call on the same
+// Scratch; the package-level functions wrap a throwaway Scratch and so keep
+// their caller-owns-result contracts. Not safe for concurrent use; the zero
+// value is ready.
+type Scratch struct {
+	fg        maxflow.Graph
+	cover     Cover
+	remaining []int64
+	pick      []bool
+	edges     [][2]int
+}
+
 // SolveBipartite returns a minimum-weight vertex cover of g, exactly, via
 // min-cut: source->left_i with capacity w(left_i), right_j->sink with
 // capacity w(right_j), and infinite-capacity edges across. A left vertex is
 // in the cover iff its source edge is cut (unreachable in the residual
 // graph); a right vertex iff its sink edge is cut (reachable).
 func SolveBipartite(g *Bipartite) *Cover {
+	return new(Scratch).SolveBipartite(g)
+}
+
+// SolveBipartite is the package-level SolveBipartite drawing the flow
+// network and the Cover from s. The Cover is valid until the next call on s.
+func (s *Scratch) SolveBipartite(g *Bipartite) *Cover {
 	p, q := len(g.LeftWeight), len(g.RightWeight)
-	fg := maxflow.New(p + q + 2)
+	fg := s.fg.Reset(p + q + 2)
 	src, sink := p+q, p+q+1
 	for i, w := range g.LeftWeight {
 		if w < 0 {
@@ -67,7 +88,10 @@ func SolveBipartite(g *Bipartite) *Cover {
 	}
 	fg.MaxFlow(src, sink)
 	reach := fg.ResidualReachable(src)
-	c := &Cover{Left: make([]bool, p), Right: make([]bool, q)}
+	c := &s.cover
+	c.Left = growBools(c.Left, p)
+	c.Right = growBools(c.Right, q)
+	c.Weight = 0
 	for i := 0; i < p; i++ {
 		if !reach[i] {
 			c.Left[i] = true
@@ -105,8 +129,14 @@ type General struct {
 
 // edgeList returns each undirected edge once as an ordered pair.
 func (g *General) edgeList() [][2]int {
-	seen := make(map[[2]int]bool)
-	var out [][2]int
+	return g.appendEdgeList(nil)
+}
+
+// appendEdgeList appends each undirected edge once, ordered and sorted, to
+// dst and returns it — sort-and-dedup on a reusable buffer, replacing the
+// per-call map a seen-set would cost.
+func (g *General) appendEdgeList(dst [][2]int) [][2]int {
+	base := len(dst)
 	for u, ns := range g.Adj {
 		for _, v := range ns {
 			if u == v {
@@ -116,20 +146,23 @@ func (g *General) edgeList() [][2]int {
 			if a > b {
 				a, b = b, a
 			}
-			k := [2]int{a, b}
-			if !seen[k] {
-				seen[k] = true
-				out = append(out, k)
-			}
+			dst = append(dst, [2]int{a, b})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i][0] != out[j][0] {
-			return out[i][0] < out[j][0]
+	added := dst[base:]
+	sort.Slice(added, func(i, j int) bool {
+		if added[i][0] != added[j][0] {
+			return added[i][0] < added[j][0]
 		}
-		return out[i][1] < out[j][1]
+		return added[i][1] < added[j][1]
 	})
-	return out
+	out := added[:0]
+	for _, e := range added {
+		if len(out) == 0 || e != out[len(out)-1] {
+			out = append(out, e)
+		}
+	}
+	return dst[:base+len(out)]
 }
 
 // ValidateGeneral reports an error if pick is not a vertex cover of g.
@@ -158,9 +191,18 @@ func (g *General) WeightOf(pick []bool) int64 {
 // remaining weight of its endpoints against both; vertices whose weight
 // reaches zero enter the cover. Runs in time linear in the number of edges.
 func Approx2(g *General) []bool {
-	remaining := append([]int64(nil), g.Weight...)
-	pick := make([]bool, len(g.Weight))
-	for _, e := range g.edgeList() {
+	return new(Scratch).Approx2(g)
+}
+
+// Approx2 is the package-level Approx2 drawing every buffer from s. The
+// returned pick slice is valid until the next call on s.
+func (s *Scratch) Approx2(g *General) []bool {
+	s.remaining = append(s.remaining[:0], g.Weight...)
+	remaining := s.remaining
+	s.pick = growBools(s.pick, len(g.Weight))
+	pick := s.pick
+	s.edges = g.appendEdgeList(s.edges[:0])
+	for _, e := range s.edges {
 		u, v := e[0], e[1]
 		if pick[u] || pick[v] {
 			continue
@@ -220,4 +262,14 @@ func SolveExact(g *General) []bool {
 	}
 	rec(0, 0)
 	return best
+}
+
+// growBools reslices b to n zeroed bools, reallocating only on growth.
+func growBools(b []bool, n int) []bool {
+	if cap(b) < n {
+		return make([]bool, n)
+	}
+	b = b[:n]
+	clear(b)
+	return b
 }

@@ -63,12 +63,19 @@ type Message struct {
 	buf         []int // flits currently in each hop's buffer
 	headHop     int   // furthest hop the head has entered; -1 before injection
 	injectedAny bool
+
+	// hopChan/hopVC are the dense channel and VC ids of each hop,
+	// precomputed once in NewNetwork so the per-cycle loops index flat
+	// arrays instead of hashing coordinates.
+	hopChan []int
+	hopVC   []int
 }
 
 // Latency returns delivery latency in cycles (delivery - earliest inject).
 func (m *Message) Latency() int { return m.DoneCycle - m.InjectAt }
 
-// vcKey identifies one virtual channel of one directed physical link.
+// vcKey identifies one virtual channel of one directed physical link; the
+// dependency-graph tooling (deadlock.go) and route validation key on it.
 type vcKey struct {
 	from int64
 	dim  int
@@ -76,27 +83,25 @@ type vcKey struct {
 	vc   int
 }
 
-type vcState struct {
-	owner int // message ID, or -1
-	flits int
-}
-
-type chanKey struct {
-	from int64
-	dim  int
-	dir  int
-}
-
 // Network simulates a set of messages over a faulty mesh.
+//
+// Channel state is dense: a directed physical channel has id
+// (nodeIndex*d + dim)*2 + dirBit and a virtual channel id chan*VCs + vc, so
+// the per-cycle hot loops index flat arrays with ids precomputed per hop —
+// no map hashing, no per-cycle clearing (channel occupancy uses a cycle
+// stamp). Memory is O(N d VCs), fine for the mesh sizes a flit-level
+// simulation can cover anyway.
 type Network struct {
 	cfg    Config
 	m      *mesh.Mesh
 	faults *mesh.FaultSet
 	msgs   []*Message
 
-	vcs      map[vcKey]*vcState
-	chanUsed map[chanKey]bool
-	busy     map[chanKey]int // cycles each physical channel carried a flit
+	vcOwner   []int // per VC id: owning message ID, or -1
+	vcFlits   []int // per VC id: buffered flits
+	chanStamp []int // per channel id: last stamp the channel carried a flit
+	stamp     int   // current cycle's stamp (starts at 1)
+	busy      []int // per channel id: cycles it carried a flit
 
 	// Result summary, valid after Run.
 	Cycles     int
@@ -118,32 +123,43 @@ func NewNetwork(f *mesh.FaultSet, cfg Config, msgs []*Message) (*Network, error)
 	if cfg.MaxCycles < 1 {
 		cfg.MaxCycles = 1_000_000
 	}
+	d := f.Mesh().Dims()
+	numChans := int(f.Mesh().Nodes()) * d * 2
 	n := &Network{
-		cfg:      cfg,
-		m:        f.Mesh(),
-		faults:   f,
-		msgs:     msgs,
-		vcs:      make(map[vcKey]*vcState),
-		chanUsed: make(map[chanKey]bool),
-		busy:     make(map[chanKey]int),
+		cfg:       cfg,
+		m:         f.Mesh(),
+		faults:    f,
+		msgs:      msgs,
+		vcOwner:   make([]int, numChans*cfg.VirtualChannels),
+		vcFlits:   make([]int, numChans*cfg.VirtualChannels),
+		chanStamp: make([]int, numChans),
+		busy:      make([]int, numChans),
 	}
-	for _, msg := range msgs {
+	for i := range n.vcOwner {
+		n.vcOwner[i] = -1
+	}
+	seen := make([]int, numChans*cfg.VirtualChannels) // per-message stamps
+	for mi, msg := range msgs {
 		if msg.Length < 1 {
 			return nil, fmt.Errorf("wormhole: message %d has no flits", msg.ID)
 		}
-		seen := make(map[vcKey]bool, len(msg.Hops))
-		for _, h := range msg.Hops {
+		msg.hopChan = make([]int, len(msg.Hops))
+		msg.hopVC = make([]int, len(msg.Hops))
+		for hi, h := range msg.Hops {
 			if h.VC < 0 || h.VC >= cfg.VirtualChannels {
 				return nil, fmt.Errorf("wormhole: message %d uses VC %d of %d", msg.ID, h.VC, cfg.VirtualChannels)
 			}
 			if !f.Usable(h.Link) {
 				return nil, fmt.Errorf("wormhole: message %d routed over unusable link %v", msg.ID, h.Link)
 			}
-			k := n.key(h)
-			if seen[k] {
+			c := n.chanID(h.Link)
+			v := c*cfg.VirtualChannels + h.VC
+			if seen[v] == mi+1 {
 				return nil, fmt.Errorf("wormhole: message %d reuses link %v on VC %d (self-deadlock)", msg.ID, h.Link, h.VC)
 			}
-			seen[k] = true
+			seen[v] = mi + 1
+			msg.hopChan[hi] = c
+			msg.hopVC[hi] = v
 		}
 		msg.remaining = msg.Length
 		msg.headHop = -1
@@ -152,46 +168,64 @@ func NewNetwork(f *mesh.FaultSet, cfg Config, msgs []*Message) (*Network, error)
 	return n, nil
 }
 
-func (n *Network) key(h Hop) vcKey {
-	return vcKey{from: n.m.Index(h.Link.From), dim: h.Link.Dim, dir: h.Link.Dir, vc: h.VC}
-}
-
-func (n *Network) vc(h Hop) *vcState {
-	k := n.key(h)
-	st, ok := n.vcs[k]
-	if !ok {
-		st = &vcState{owner: -1}
-		n.vcs[k] = st
+// chanID returns the dense id of a directed physical channel.
+func (n *Network) chanID(l mesh.Link) int {
+	dirBit := 0
+	if l.Dir > 0 {
+		dirBit = 1
 	}
-	return st
+	return (int(n.m.Index(l.From))*n.m.Dims()+l.Dim)*2 + dirBit
 }
 
-func (n *Network) channelFree(h Hop) bool {
-	return !n.chanUsed[chanKey{from: n.m.Index(h.Link.From), dim: h.Link.Dim, dir: h.Link.Dir}]
-}
-
-func (n *Network) useChannel(h Hop) {
-	k := chanKey{from: n.m.Index(h.Link.From), dim: h.Link.Dim, dir: h.Link.Dir}
-	n.chanUsed[k] = true
-	n.busy[k]++
+// Reset rewinds the network and every message to the pre-Run state, so the
+// same workload can run again (the benchmarks measure steady-state cost this
+// way). Route-shape fields (PathHops, PathTurns) are properties of the
+// routes and survive.
+func (n *Network) Reset() {
+	for i := range n.vcOwner {
+		n.vcOwner[i] = -1
+	}
+	clear(n.vcFlits)
+	clear(n.chanStamp)
+	clear(n.busy)
+	n.stamp = 0
+	n.Cycles, n.Deadlocked, n.MovesTotal = 0, false, 0
+	for _, m := range n.msgs {
+		m.Delivered = false
+		m.DoneCycle = 0
+		m.StartCycle = 0
+		m.remaining = m.Length
+		m.ejected = 0
+		clear(m.buf)
+		m.headHop = -1
+		m.injectedAny = false
+	}
 }
 
 // LinkUtilization returns the mean and maximum fraction of cycles that the
 // physical channels touched by the workload spent carrying flits — the
 // congestion signal behind the Section 2.1 intermediate-choice heuristic.
 func (n *Network) LinkUtilization() (mean, max float64) {
-	if n.Cycles == 0 || len(n.busy) == 0 {
+	if n.Cycles == 0 {
 		return 0, 0
 	}
 	var sum float64
+	touched := 0
 	for _, b := range n.busy {
+		if b == 0 {
+			continue
+		}
+		touched++
 		u := float64(b) / float64(n.Cycles)
 		sum += u
 		if u > max {
 			max = u
 		}
 	}
-	return sum / float64(len(n.busy)), max
+	if touched == 0 {
+		return 0, 0
+	}
+	return sum / float64(touched), max
 }
 
 // Run simulates until every message is delivered, a deadlock is detected,
@@ -250,9 +284,7 @@ func (n *Network) anyRunnable(cycle int) bool {
 // within a message, flits advance head-first so a pipeline compresses and
 // refills like hardware.
 func (n *Network) step(cycle int) int {
-	for k := range n.chanUsed {
-		delete(n.chanUsed, k)
-	}
+	n.stamp++ // invalidates every channel-occupancy mark from the last cycle
 	moves := 0
 	count := len(n.msgs)
 	for off := 0; off < count; off++ {
@@ -272,7 +304,7 @@ func (n *Network) stepMessage(m *Message, cycle int) int {
 	// Ejection: the destination consumes one flit per cycle.
 	if m.buf[last] > 0 {
 		m.buf[last]--
-		n.vc(m.Hops[last]).flits--
+		n.vcFlits[m.hopVC[last]]--
 		m.ejected++
 		moves++
 		n.maybeRelease(m, last)
@@ -283,25 +315,27 @@ func (n *Network) stepMessage(m *Message, cycle int) int {
 		if m.buf[i] == 0 {
 			continue
 		}
-		next := m.Hops[i+1]
-		st := n.vc(next)
+		nv := m.hopVC[i+1]
+		owner := n.vcOwner[nv]
 		isHead := i == m.headHop
 		if isHead {
-			if st.owner != -1 && st.owner != m.ID {
+			if owner != -1 && owner != m.ID {
 				continue
 			}
-		} else if st.owner != m.ID {
+		} else if owner != m.ID {
 			continue
 		}
-		if st.flits >= n.cfg.BufferDepth || !n.channelFree(next) {
+		nc := m.hopChan[i+1]
+		if n.vcFlits[nv] >= n.cfg.BufferDepth || n.chanStamp[nc] == n.stamp {
 			continue
 		}
-		st.owner = m.ID
-		st.flits++
+		n.vcOwner[nv] = m.ID
+		n.vcFlits[nv]++
 		m.buf[i+1]++
 		m.buf[i]--
-		n.vc(m.Hops[i]).flits--
-		n.useChannel(next)
+		n.vcFlits[m.hopVC[i]]--
+		n.chanStamp[nc] = n.stamp
+		n.busy[nc]++
 		if isHead {
 			m.headHop = i + 1
 		}
@@ -311,15 +345,16 @@ func (n *Network) stepMessage(m *Message, cycle int) int {
 
 	// Injection of the next flit from the source into hop 0.
 	if m.remaining > 0 {
-		first := m.Hops[0]
-		st := n.vc(first)
-		ok := st.owner == m.ID || (st.owner == -1 && !m.injectedAny)
-		if ok && st.flits < n.cfg.BufferDepth && n.channelFree(first) {
-			st.owner = m.ID
-			st.flits++
+		v0, c0 := m.hopVC[0], m.hopChan[0]
+		owner := n.vcOwner[v0]
+		ok := owner == m.ID || (owner == -1 && !m.injectedAny)
+		if ok && n.vcFlits[v0] < n.cfg.BufferDepth && n.chanStamp[c0] != n.stamp {
+			n.vcOwner[v0] = m.ID
+			n.vcFlits[v0]++
 			m.buf[0]++
 			m.remaining--
-			n.useChannel(first)
+			n.chanStamp[c0] = n.stamp
+			n.busy[c0]++
 			if !m.injectedAny {
 				m.injectedAny = true
 				m.headHop = 0
@@ -345,9 +380,9 @@ func (n *Network) maybeRelease(m *Message, i int) {
 			return
 		}
 	}
-	st := n.vc(m.Hops[i])
-	if st.owner == m.ID && st.flits == 0 {
-		st.owner = -1
+	v := m.hopVC[i]
+	if n.vcOwner[v] == m.ID && n.vcFlits[v] == 0 {
+		n.vcOwner[v] = -1
 	}
 }
 

@@ -2,6 +2,7 @@ package wormhole
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"lambmesh/internal/core"
@@ -354,5 +355,67 @@ func TestBufferDepthHelps(t *testing.T) {
 	deep := run(4)
 	if deep > shallow {
 		t.Errorf("deeper buffers slowed the run: depth1=%d cycles, depth4=%d", shallow, deep)
+	}
+}
+
+// Reset must rewind the network to its pre-Run state: a second Run over the
+// same workload reproduces every cycle count and latency exactly.
+func TestResetReproducesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := mesh.MustNew(8, 8)
+	f := mesh.RandomNodeFaults(m, 6, rng)
+	orders := routing.UniformAscending(2, 2)
+	res, err := core.Lamb1(f, orders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := routing.NewOracle(f)
+	msgs, err := GenerateTraffic(o, orders, res.Lambs, TrafficSpec{
+		Messages: 60, MinFlits: 2, MaxFlits: 10, InjectWindow: 40,
+	}, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewNetwork(f, DefaultConfig(), msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Run(); err != nil {
+		t.Fatal(err)
+	}
+	type obs struct {
+		cycles, moves int
+		deadlocked    bool
+		done, start   []int
+	}
+	snap := func() obs {
+		o := obs{cycles: n.Cycles, moves: n.MovesTotal, deadlocked: n.Deadlocked}
+		for _, msg := range msgs {
+			o.done = append(o.done, msg.DoneCycle)
+			o.start = append(o.start, msg.StartCycle)
+		}
+		return o
+	}
+	first := snap()
+	meanU, maxU := n.LinkUtilization()
+	for rerun := 0; rerun < 3; rerun++ {
+		n.Reset()
+		if n.Cycles != 0 || n.MovesTotal != 0 || n.Deadlocked {
+			t.Fatal("Reset left summary fields set")
+		}
+		for _, msg := range msgs {
+			if msg.Delivered || msg.ejected != 0 || msg.remaining != msg.Length {
+				t.Fatalf("Reset left message %d mid-flight", msg.ID)
+			}
+		}
+		if err := n.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if got := snap(); !reflect.DeepEqual(got, first) {
+			t.Fatalf("rerun %d diverged: got %+v want %+v", rerun, got, first)
+		}
+		if m2, x2 := n.LinkUtilization(); m2 != meanU || x2 != maxU {
+			t.Fatalf("rerun %d utilization diverged", rerun)
+		}
 	}
 }

@@ -75,6 +75,8 @@ type (
 	GenericResult = core.GenericResult
 	// Reconfigurer drives the roll-back/reconfigure loop of Section 1.
 	Reconfigurer = core.Reconfigurer
+	// Solver owns reusable scratch for repeated lamb computations.
+	Solver = core.Solver
 )
 
 // WVC solver modes for FindLambSetGeneral.
@@ -136,6 +138,13 @@ func ChooseRoute(o *Oracle, orders MultiOrder, src, dst Coord, rng *rand.Rand) (
 func FindLambSet(f *FaultSet, orders MultiOrder, opts ...Option) (*Result, error) {
 	return core.Lamb1(f, orders, opts...)
 }
+
+// NewSolver returns a reusable Solver: it owns the scratch memory of the
+// whole lamb pipeline, so callers computing lamb sets repeatedly (per fault
+// epoch, per trial) should hold one per goroutine and call its
+// Lamb1/Lamb2/ExactLamb methods. Results are byte-identical to the one-shot
+// functions; only the allocation behavior differs.
+func NewSolver() *Solver { return core.NewSolver() }
 
 // FindLambSetGeneral runs Lamb2 (Section 6.3.2): the general-graph
 // reduction. With ExactWVC the result is a minimum lamb set (exponential

@@ -2,10 +2,14 @@
 # bench.sh — record the lamb pipeline's perf trajectory.
 #
 # Runs the hot-path benchmarks (Fig17/Fig18 trials, BitmatMul, the Section 5
-# pipeline) twice — LAMBMESH_WORKERS=1 and LAMBMESH_WORKERS=NumCPU — and
-# writes BENCH_lamb.json with ns/op and allocs/op per (benchmark, workers)
-# pair plus per-benchmark speedups. On a single-CPU machine only the
-# workers=1 pass runs (there is nothing to compare against).
+# pipeline, the wormhole cycle loop) twice — LAMBMESH_WORKERS=1 and
+# LAMBMESH_WORKERS=NumCPU — and writes BENCH_lamb.json with ns/op and
+# allocs/op per (benchmark, workers) pair plus per-benchmark speedups. On a
+# single-CPU machine only the workers=1 pass runs (there is nothing to
+# compare against). The final benchcheck pass also enforces the allocation
+# budgets in scripts/benchcheck/budgets.json; after a deliberate change in
+# allocation behaviour, regenerate them with
+# `go run ./scripts/benchcheck -write`.
 #
 # Usage:
 #   scripts/bench.sh            # run benchmarks, write BENCH_lamb.json
@@ -19,7 +23,7 @@ cd "$(dirname "$0")/.."
 
 OUT="${OUT:-BENCH_lamb.json}"
 BENCHTIME="${BENCHTIME:-3x}"
-BENCH_RE='^(BenchmarkFig17Trial|BenchmarkFig18Trial|BenchmarkBitmatMul|BenchmarkSec5LambSet)$'
+BENCH_RE='^(BenchmarkFig17Trial|BenchmarkFig18Trial|BenchmarkBitmatMul|BenchmarkSec5LambSet|BenchmarkWormholeRun)$'
 
 if [ "${1:-}" = "--check" ]; then
     exec go run ./scripts/benchcheck -file "$OUT"
@@ -47,6 +51,14 @@ run_pass() {
             if (ns != "") print name, w, ns, allocs
         }'
 }
+
+# Preserve the "baseline" block across reruns: the rows recorded before the
+# allocation-discipline work, kept for before/after comparison. Rows are one
+# per line, so a line-range extraction is enough.
+BASELINE=""
+if [ -f "$OUT" ]; then
+    BASELINE="$(sed -n '/^  "baseline": \[$/,/^  \],$/p' "$OUT")"
+fi
 
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
@@ -81,6 +93,10 @@ awk -v ncpu="$NCPU" -v gover="$GOVER" -v date="$DATE" -v benchtime="$BENCHTIME" 
         printf "  }\n"
         printf "}\n"
     }' "$TMP" >"$OUT"
+
+if [ -n "$BASELINE" ]; then
+    awk -v b="$BASELINE" '/^  "speedup": \{$/ { print b } { print }' "$OUT" >"$OUT.tmp" && mv "$OUT.tmp" "$OUT"
+fi
 
 echo "bench.sh: wrote $OUT (num_cpu=$NCPU)" >&2
 go run ./scripts/benchcheck -file "$OUT"

@@ -1,14 +1,29 @@
 // Command benchcheck validates the shape of BENCH_lamb.json, the perf
-// trajectory file scripts/bench.sh emits. CI runs `scripts/bench.sh
-// --check` (which execs this) so the bench harness and its output format
-// cannot rot silently.
+// trajectory file scripts/bench.sh emits, and enforces the checked-in
+// per-benchmark allocation budgets. CI runs `scripts/bench.sh --check`
+// (which execs this) so the bench harness cannot rot silently and so an
+// allocs/op regression on a hot path fails the build instead of landing
+// quietly.
+//
+// Budgets live in scripts/benchcheck/budgets.json: a ceiling on
+// allocs_per_op at workers=1 for each recorded benchmark. After a
+// deliberate change in allocation behaviour, regenerate them from a fresh
+// BENCH_lamb.json with:
+//
+//	go run ./scripts/benchcheck -write
+//
+// which records ceil(1.25 x observed) per benchmark — headroom for run-to-
+// run noise, tight enough that reintroducing a per-iteration allocation in
+// a steady-state loop (typically a >2x jump) trips the check.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"sort"
 )
 
 type benchEntry struct {
@@ -25,6 +40,7 @@ type benchFile struct {
 	NumCPU     int                `json:"num_cpu"`
 	Benchtime  string             `json:"benchtime"`
 	Benchmarks []benchEntry       `json:"benchmarks"`
+	Baseline   []benchEntry       `json:"baseline,omitempty"` // pre-optimization rows, kept for before/after comparison
 	Speedup    map[string]float64 `json:"speedup"`
 }
 
@@ -36,19 +52,39 @@ var requiredBenchmarks = []string{
 	"BenchmarkFig18Trial",
 	"BenchmarkBitmatMul",
 	"BenchmarkSec5LambSet",
+	"BenchmarkWormholeRun",
 }
+
+// budgetFile is the checked-in allocation budget table: for each benchmark,
+// the maximum admissible allocs_per_op at workers=1.
+type budgetFile struct {
+	Schema  string             `json:"schema"`
+	Budgets map[string]float64 `json:"budgets"`
+}
+
+const budgetSchema = "lambmesh-alloc-budget/v1"
 
 func main() {
 	file := flag.String("file", "BENCH_lamb.json", "bench JSON file to validate")
+	budget := flag.String("budget", "scripts/benchcheck/budgets.json", "allocation budget table")
+	write := flag.Bool("write", false, "regenerate the budget table from -file instead of checking against it")
 	flag.Parse()
-	if err := check(*file); err != nil {
+	if *write {
+		if err := writeBudgets(*file, *budget); err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchcheck: wrote %s from %s\n", *budget, *file)
+		return
+	}
+	if err := check(*file, *budget); err != nil {
 		fmt.Fprintln(os.Stderr, "benchcheck:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("benchcheck: %s OK\n", *file)
 }
 
-func check(path string) error {
+func check(path, budgetPath string) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -90,5 +126,80 @@ func check(path string) error {
 	if bf.NumCPU > 1 && len(bf.Speedup) == 0 {
 		return fmt.Errorf("%s: num_cpu %d but no speedup map", path, bf.NumCPU)
 	}
+	return checkBudgets(path, budgetPath, bf)
+}
+
+// checkBudgets enforces the allocation ceilings: every workers=1 entry must
+// have a budget, and must stay at or under it. Both directions fail — an
+// over-budget entry is a regression, a missing budget means the table was
+// not regenerated after adding a benchmark.
+func checkBudgets(path, budgetPath string, bf benchFile) error {
+	raw, err := os.ReadFile(budgetPath)
+	if err != nil {
+		return fmt.Errorf("alloc budget table: %v (regenerate with `go run ./scripts/benchcheck -write`)", err)
+	}
+	var budgets budgetFile
+	if err := json.Unmarshal(raw, &budgets); err != nil {
+		return fmt.Errorf("%s: not valid JSON: %v", budgetPath, err)
+	}
+	if budgets.Schema != budgetSchema {
+		return fmt.Errorf("%s: schema %q, want %s", budgetPath, budgets.Schema, budgetSchema)
+	}
+	for _, b := range bf.Benchmarks {
+		if b.Workers != 1 {
+			continue
+		}
+		ceil, ok := budgets.Budgets[b.Name]
+		if !ok {
+			return fmt.Errorf("%s: no alloc budget for %s — regenerate %s with `go run ./scripts/benchcheck -write`", path, b.Name, budgetPath)
+		}
+		if b.AllocsPerOp > ceil {
+			return fmt.Errorf("%s: %s allocates %.0f/op, over the budget of %.0f — a regression, or regenerate %s after a deliberate change", path, b.Name, b.AllocsPerOp, ceil, budgetPath)
+		}
+	}
 	return nil
+}
+
+// writeBudgets regenerates the budget table from a bench file, giving each
+// workers=1 entry 25% headroom (and a floor of 1 so zero-alloc benchmarks
+// tolerate a stray allocation from the harness itself).
+func writeBudgets(path, budgetPath string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var bf benchFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		return fmt.Errorf("%s: not valid JSON: %v", path, err)
+	}
+	out := budgetFile{Schema: budgetSchema, Budgets: map[string]float64{}}
+	for _, b := range bf.Benchmarks {
+		if b.Workers != 1 {
+			continue
+		}
+		ceil := math.Ceil(b.AllocsPerOp * 1.25)
+		if ceil < 1 {
+			ceil = 1
+		}
+		out.Budgets[b.Name] = ceil
+	}
+	if len(out.Budgets) == 0 {
+		return fmt.Errorf("%s: no workers=1 entries to budget", path)
+	}
+	names := make([]string, 0, len(out.Budgets))
+	for n := range out.Budgets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	// Marshal by hand to keep the table ordered and diff-friendly.
+	buf := fmt.Sprintf("{\n  \"schema\": %q,\n  \"budgets\": {\n", budgetSchema)
+	for i, n := range names {
+		comma := ","
+		if i == len(names)-1 {
+			comma = ""
+		}
+		buf += fmt.Sprintf("    %q: %.0f%s\n", n, out.Budgets[n], comma)
+	}
+	buf += "  }\n}\n"
+	return os.WriteFile(budgetPath, []byte(buf), 0o644)
 }
