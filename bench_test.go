@@ -319,6 +319,51 @@ func BenchmarkWormholeRun(b *testing.B) {
 	}
 }
 
+// BenchmarkTrafficEngine: the open-loop traffic engine's cycle loop —
+// warm-up, measurement, and drain over a Bernoulli workload on a faulty
+// 16x16 mesh — with the engine built once and rewound with Reset between
+// iterations. The budget in scripts/benchcheck holds this at 0 allocs/op:
+// all scratch (active list, source queues, latency array) is sized at
+// construction.
+func BenchmarkTrafficEngine(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	m := mesh.MustNew(16, 16)
+	f := mesh.RandomNodeFaults(m, 8, rng)
+	orders := routing.UniformAscending(2, 2)
+	res, err := core.Lamb1(f, orders)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := routing.NewOracle(f)
+	packets, err := wormhole.GenerateWorkload(o, orders, res.Lambs, wormhole.WorkloadSpec{
+		Pattern:     wormhole.PatternUniform,
+		Rate:        0.02,
+		PacketFlits: 8,
+		Cycles:      600,
+	}, 2, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := wormhole.NewEngine(f, wormhole.EngineConfig{
+		Net:           wormhole.DefaultConfig(),
+		WarmupCycles:  200,
+		MeasureCycles: 400,
+		Nodes:         len(wormhole.Survivors(f, res.Lambs)),
+	}, packets)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Reset()
+		r := eng.Run()
+		if r.Deadlocked || r.Delivered != r.Packets {
+			b.Fatalf("unexpected outcome: %+v", r)
+		}
+	}
+}
+
 // Micro-benchmarks of the algorithmic stages.
 
 func BenchmarkOracleReachOne(b *testing.B) {

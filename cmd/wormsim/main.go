@@ -1,22 +1,29 @@
-// Command wormsim runs a flit-level wormhole-routing simulation over a
-// faulty mesh: it computes a lamb set, generates random survivor-to-
-// survivor traffic routed with k rounds of dimension-ordered routing, and
-// reports delivery, latency, turn, and deadlock statistics.
+// Command wormsim runs open-loop injection-rate workloads through the
+// flit-level wormhole simulator: it computes a lamb set for a faulty mesh,
+// drives a synthetic traffic pattern at one or more injection rates, and
+// reports accepted throughput and packet latency for the lamb-routed faulty
+// mesh next to a fault-free baseline.
 //
 // Usage:
 //
-//	wormsim -mesh 16x16 -faults 10 -messages 200 -vcs 2 -k 2
-//	        [-flits-min 4 -flits-max 16] [-buffer 2] [-window 100] [-seed 1]
+//	wormsim -mesh 16x16 -faults 10 -rate 0.02 -pattern uniform
+//	wormsim -mesh 16x16 -faults 10 -sweep -rates 0.005,0.01,0.02,0.05,0.1
+//	        -trials 4 -format csv
 //
-// Setting -vcs below -k under-provisions the router and lets you watch for
-// the deadlocks that one-VC-per-round is designed to prevent.
+// Output is a pure function of the flags: at a fixed -seed the bytes are
+// identical for any -workers value, so sweeps are safe to diff across
+// machines and CI runs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"math/rand"
+	"os"
+	"strconv"
+	"strings"
 
 	"lambmesh/internal/core"
 	"lambmesh/internal/mesh"
@@ -24,67 +31,98 @@ import (
 	"lambmesh/internal/wormhole"
 )
 
-func main() {
+// cliConfig is the parsed, validated flag set; run is a pure function of it.
+type cliConfig struct {
+	widths  []int
+	nFaults int
+	k       int
+	vcs     int
+	buffer  int
+	seed    int64
+
+	pattern wormhole.Pattern
+	hotspot float64
+	packet  int
+	warmup  int
+	measure int
+	drain   int
+	trials  int
+	workers int
+
+	sweep    bool
+	rates    []float64
+	baseline bool
+	format   string
+}
+
+// defaultSweepRates spans light load to past saturation for small meshes.
+var defaultSweepRates = []float64{0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2}
+
+func parseConfig(args []string) (*cliConfig, error) {
+	fs := flag.NewFlagSet("wormsim", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
 	var (
-		meshFlag = flag.String("mesh", "16x16", "mesh widths, e.g. 16x16 or 8x8x8")
-		nFaults  = flag.Int("faults", 10, "random node faults")
-		messages = flag.Int("messages", 200, "messages to inject")
-		k        = flag.Int("k", 2, "routing rounds")
-		vcs      = flag.Int("vcs", 2, "virtual channels per link")
-		buffer   = flag.Int("buffer", 2, "per-VC buffer depth (flits)")
-		flitsMin = flag.Int("flits-min", 4, "minimum message length (flits)")
-		flitsMax = flag.Int("flits-max", 16, "maximum message length (flits)")
-		window   = flag.Int("window", 100, "injection window (cycles)")
-		seed     = flag.Int64("seed", 1, "rng seed")
+		meshFlag    = fs.String("mesh", "16x16", "mesh widths, e.g. 16x16 or 8x8x8")
+		nFaults     = fs.Int("faults", 10, "random node faults")
+		k           = fs.Int("k", 2, "routing rounds")
+		vcs         = fs.Int("vcs", 2, "virtual channels per link")
+		buffer      = fs.Int("buffer", 2, "per-VC buffer depth (flits)")
+		seed        = fs.Int64("seed", 1, "rng seed (fault draw and workloads)")
+		patternFlag = fs.String("pattern", "uniform", "traffic pattern: uniform, transpose, bitcomp, hotspot")
+		hotspot     = fs.Float64("hotspot", 0.2, "hotspot pattern: fraction of traffic aimed at the hotspot node")
+		packet      = fs.Int("packet", 8, "packet length (flits)")
+		warmup      = fs.Int("warmup", 300, "warm-up cycles (simulated, not sampled)")
+		measure     = fs.Int("measure", 600, "measurement window (cycles)")
+		drain       = fs.Int("drain", 0, "drain bound (cycles); 0 means 4x measure")
+		trials      = fs.Int("trials", 3, "independent trials per rate point")
+		workers     = fs.Int("workers", 0, "worker pool size; 0 means NumCPU (does not change output)")
+		sweep       = fs.Bool("sweep", false, "sweep a list of rates instead of a single point")
+		ratesFlag   = fs.String("rates", "", "comma-separated injection rates for -sweep (default a built-in ramp)")
+		rate        = fs.Float64("rate", 0.02, "injection rate, packets/node/cycle (single-point mode)")
+		baseline    = fs.Bool("baseline", true, "also run the fault-free mesh as a baseline")
+		format      = fs.String("format", "table", "output format: table, csv, json")
 	)
-	flag.Parse()
-	rng := rand.New(rand.NewSource(*seed))
-
-	widths, err := parseWidths(*meshFlag)
-	if err != nil {
-		log.Fatal(err)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
 	}
-	m, err := mesh.New(widths...)
-	if err != nil {
-		log.Fatal(err)
+	cfg := &cliConfig{
+		nFaults: *nFaults, k: *k, vcs: *vcs, buffer: *buffer, seed: *seed,
+		hotspot: *hotspot, packet: *packet, warmup: *warmup, measure: *measure,
+		drain: *drain, trials: *trials, workers: *workers,
+		sweep: *sweep, baseline: *baseline, format: *format,
 	}
-	faults := mesh.RandomNodeFaults(m, *nFaults, rng)
-	orders := routing.UniformAscending(m.Dims(), *k)
-
-	res, err := core.Lamb1(faults, orders)
-	if err != nil {
-		log.Fatal(err)
+	var err error
+	if cfg.widths, err = parseWidths(*meshFlag); err != nil {
+		return nil, err
 	}
-	fmt.Printf("mesh %v, %d faults, %d lambs, %d survivors, routing %v on %d VCs\n",
-		m, faults.Count(), res.NumLambs(), res.Survivors(faults), orders, *vcs)
-
-	oracle := routing.NewOracle(faults)
-	msgs, err := wormhole.GenerateTraffic(oracle, orders, res.Lambs, wormhole.TrafficSpec{
-		Messages: *messages, MinFlits: *flitsMin, MaxFlits: *flitsMax, InjectWindow: *window,
-	}, *vcs, rng)
-	if err != nil {
-		log.Fatal(err)
+	if cfg.pattern, err = wormhole.ParsePattern(*patternFlag); err != nil {
+		return nil, err
 	}
-	cfg := wormhole.Config{
-		VirtualChannels: *vcs,
-		BufferDepth:     *buffer,
-		StallCycles:     2000,
-		MaxCycles:       5_000_000,
+	switch *format {
+	case "table", "csv", "json":
+	default:
+		return nil, fmt.Errorf("unknown format %q (want table, csv, or json)", *format)
 	}
-	net, err := wormhole.NewNetwork(faults, cfg, msgs)
-	if err != nil {
-		log.Fatal(err)
+	if *sweep {
+		cfg.rates = defaultSweepRates
+		if *ratesFlag != "" {
+			if cfg.rates, err = parseRates(*ratesFlag); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		cfg.rates = []float64{*rate}
 	}
-	if err := net.Run(); err != nil {
-		log.Fatal(err)
+	for _, r := range cfg.rates {
+		if r <= 0 || r > 1 {
+			return nil, fmt.Errorf("injection rate %v outside (0, 1]", r)
+		}
 	}
-	s := wormhole.Summarize(net)
-	fmt.Printf("delivered:  %d/%d\n", s.Delivered, s.Messages)
-	fmt.Printf("deadlock:   %v\n", s.Deadlocked)
-	fmt.Printf("cycles:     %d (total flit movements %d)\n", s.Cycles, net.MovesTotal)
-	fmt.Printf("latency:    avg %.1f, max %d cycles\n", s.AvgLatency, s.MaxLatency)
-	fmt.Printf("turns:      avg %.2f, max %d (dimension-ordered bound kd-1 = %d)\n",
-		s.AvgTurns, s.MaxTurns, *k*m.Dims()-1)
+	if cfg.k < 1 || cfg.vcs < 1 || cfg.packet < 1 || cfg.trials < 1 ||
+		cfg.warmup < 0 || cfg.measure < 1 || cfg.nFaults < 0 {
+		return nil, fmt.Errorf("k, vcs, packet, trials must be >= 1; warmup, faults >= 0; measure >= 1")
+	}
+	return cfg, nil
 }
 
 func parseWidths(s string) ([]int, error) {
@@ -107,4 +145,167 @@ func parseWidths(s string) ([]int, error) {
 		return nil, fmt.Errorf("bad mesh spec %q", s)
 	}
 	return append(widths, cur), nil
+}
+
+func parseRates(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	rates := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		r, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad rate %q in -rates", p)
+		}
+		rates = append(rates, r)
+	}
+	return rates, nil
+}
+
+// sweepRow is one (case, rate) result, flattened for csv/json emission.
+type sweepRow struct {
+	Case      string  `json:"case"` // "lamb" or "baseline"
+	Rate      float64 `json:"rate"`
+	Offered   float64 `json:"offeredFlitRate"`
+	Accepted  float64 `json:"acceptedFlitRate"`
+	MeanLat   float64 `json:"meanLatency"`
+	P99Lat    float64 `json:"p99Latency"`
+	MaxLat    int     `json:"maxLatency"`
+	Delivered float64 `json:"deliveredFraction"`
+	Saturated bool    `json:"saturated"`
+	Deadlock  bool    `json:"deadlocked"`
+	VCUtil    string  `json:"vcMeanUtil"` // space-joined per-VC means
+}
+
+// report is the full JSON document; table/csv emit only the rows.
+type report struct {
+	Mesh      string     `json:"mesh"`
+	Faults    int        `json:"faults"`
+	Lambs     int        `json:"lambs"`
+	Survivors int        `json:"survivors"`
+	Rounds    int        `json:"rounds"`
+	VCs       int        `json:"vcs"`
+	Pattern   string     `json:"pattern"`
+	Packet    int        `json:"packetFlits"`
+	Trials    int        `json:"trials"`
+	Seed      int64      `json:"seed"`
+	Rows      []sweepRow `json:"rows"`
+}
+
+func run(cfg *cliConfig, w io.Writer) error {
+	m, err := mesh.New(cfg.widths...)
+	if err != nil {
+		return err
+	}
+	// The fault draw gets its own rng: sweep cells reseed from (seed, rate,
+	// trial), so consuming here cannot shift workload randomness.
+	faults := mesh.RandomNodeFaults(m, cfg.nFaults, rand.New(rand.NewSource(cfg.seed)))
+	orders := routing.UniformAscending(m.Dims(), cfg.k)
+	res, err := core.Lamb1(faults, orders)
+	if err != nil {
+		return err
+	}
+
+	spec := wormhole.SweepSpec{
+		Rates:           cfg.rates,
+		Trials:          cfg.trials,
+		Pattern:         cfg.pattern,
+		PacketFlits:     cfg.packet,
+		HotspotFraction: cfg.hotspot,
+		Warmup:          cfg.warmup,
+		Measure:         cfg.measure,
+		Drain:           cfg.drain,
+		Net: wormhole.Config{
+			VirtualChannels: cfg.vcs,
+			BufferDepth:     cfg.buffer,
+			StallCycles:     2000,
+			MaxCycles:       5_000_000,
+		},
+		Seed:    cfg.seed,
+		Workers: cfg.workers,
+	}
+
+	rep := report{
+		Mesh:      fmt.Sprint(m),
+		Faults:    faults.Count(),
+		Lambs:     res.NumLambs(),
+		Survivors: int(res.Survivors(faults)),
+		Rounds:    cfg.k,
+		VCs:       cfg.vcs,
+		Pattern:   cfg.pattern.String(),
+		Packet:    cfg.packet,
+		Trials:    cfg.trials,
+		Seed:      cfg.seed,
+	}
+	lamb, err := wormhole.RunSweep(faults, orders, res.Lambs, spec)
+	if err != nil {
+		return err
+	}
+	rep.Rows = appendRows(rep.Rows, "lamb", lamb)
+	if cfg.baseline {
+		free := mesh.NewFaultSet(m)
+		base, err := wormhole.RunSweep(free, orders, nil, spec)
+		if err != nil {
+			return err
+		}
+		rep.Rows = appendRows(rep.Rows, "baseline", base)
+	}
+	return render(w, cfg.format, rep)
+}
+
+func appendRows(rows []sweepRow, name string, points []wormhole.SweepPoint) []sweepRow {
+	for _, p := range points {
+		util := make([]string, len(p.VCMeanUtil))
+		for v, u := range p.VCMeanUtil {
+			util[v] = strconv.FormatFloat(u, 'f', 4, 64)
+		}
+		rows = append(rows, sweepRow{
+			Case: name, Rate: p.Rate,
+			Offered: p.OfferedFlitRate, Accepted: p.AcceptedFlitRate,
+			MeanLat: p.MeanLatency, P99Lat: p.P99Latency, MaxLat: p.MaxLatency,
+			Delivered: p.DeliveredFraction, Saturated: p.Saturated,
+			Deadlock: p.Deadlocked, VCUtil: strings.Join(util, " "),
+		})
+	}
+	return rows
+}
+
+func render(w io.Writer, format string, rep report) error {
+	switch format {
+	case "json":
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	case "csv":
+		fmt.Fprintln(w, "case,rate,offered,accepted,mean_latency,p99_latency,max_latency,delivered,saturated,deadlocked,vc_mean_util")
+		for _, r := range rep.Rows {
+			fmt.Fprintf(w, "%s,%g,%.6f,%.6f,%.3f,%.1f,%d,%.4f,%t,%t,%s\n",
+				r.Case, r.Rate, r.Offered, r.Accepted, r.MeanLat, r.P99Lat,
+				r.MaxLat, r.Delivered, r.Saturated, r.Deadlock,
+				strings.ReplaceAll(r.VCUtil, " ", "|"))
+		}
+		return nil
+	default: // table
+		fmt.Fprintf(w, "mesh %s, %d faults, %d lambs, %d survivors, %d rounds on %d VCs, pattern %s, %d-flit packets, %d trials, seed %d\n",
+			rep.Mesh, rep.Faults, rep.Lambs, rep.Survivors, rep.Rounds, rep.VCs,
+			rep.Pattern, rep.Packet, rep.Trials, rep.Seed)
+		fmt.Fprintf(w, "%-9s %8s %9s %9s %10s %8s %7s %9s %5s %5s\n",
+			"case", "rate", "offered", "accepted", "mean_lat", "p99_lat", "max_lat", "delivered", "sat", "dead")
+		for _, r := range rep.Rows {
+			fmt.Fprintf(w, "%-9s %8g %9.5f %9.5f %10.2f %8.1f %7d %9.4f %5t %5t\n",
+				r.Case, r.Rate, r.Offered, r.Accepted, r.MeanLat, r.P99Lat,
+				r.MaxLat, r.Delivered, r.Saturated, r.Deadlock)
+		}
+		return nil
+	}
+}
+
+func main() {
+	cfg, err := parseConfig(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wormsim:", err)
+		os.Exit(2)
+	}
+	if err := run(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wormsim:", err)
+		os.Exit(1)
+	}
 }

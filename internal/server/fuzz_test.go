@@ -1,0 +1,53 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"lambmesh/internal/mesh"
+	"lambmesh/internal/routing"
+)
+
+// FuzzRouteHandler throws arbitrary bodies at POST /v1/route. The handler's
+// contract: every request gets a JSON body and either 200 (well-formed
+// query, routable or not) or 400 (malformed body or coordinates) — never a
+// panic, a 5xx, or non-JSON output.
+func FuzzRouteHandler(f *testing.F) {
+	f.Add([]byte(`{"src":"(0,0)","dst":"(3,3)"}`))
+	f.Add([]byte(`{"src":"0,0","dst":"7,7"}`))
+	f.Add([]byte(`{"src":"(0,0)"}`))
+	f.Add([]byte(`{"src":"(9,9,9)","dst":"(0,0)"}`))
+	f.Add([]byte(`{"src":42,"dst":[]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(``))
+
+	srv, err := New(Config{
+		Mesh:   mesh.MustNew(8, 8),
+		Orders: routing.UniformAscending(2, 2),
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(srv.Close)
+	h := srv.Handler()
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest("POST", "/v1/route", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != 200 && rec.Code != 400 {
+			t.Fatalf("status %d for body %q", rec.Code, body)
+		}
+		if !json.Valid(rec.Body.Bytes()) {
+			t.Fatalf("non-JSON response %q for body %q", rec.Body.String(), body)
+		}
+		if rec.Code == 200 {
+			var resp RouteResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("200 body is not a RouteResponse: %v", err)
+			}
+		}
+	})
+}

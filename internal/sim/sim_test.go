@@ -198,6 +198,7 @@ func TestRegistryCoversDesignIndex(t *testing.T) {
 		"sec3one", "sec3two", "fig15", "prop65", "hardness",
 		"abl-rounds", "abl-vcover", "abl-blockfault", "abl-sptree", "worm",
 		"ext-linkfaults", "ext-reconfig", "ext-congestion", "ext-torus",
+		"worm-saturation",
 	}
 	for _, id := range ids {
 		if _, ok := Lookup(id); !ok {

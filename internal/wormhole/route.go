@@ -92,21 +92,7 @@ type TrafficSpec struct {
 func GenerateTraffic(o *routing.Oracle, orders routing.MultiOrder, lambs []mesh.Coord,
 	spec TrafficSpec, vcs int, rng *rand.Rand) ([]*Message, error) {
 	m := o.Mesh()
-	f := o.Faults()
-	lambIdx := make(map[int64]struct{}, len(lambs))
-	for _, c := range lambs {
-		lambIdx[m.Index(c)] = struct{}{}
-	}
-	var survivors []mesh.Coord
-	m.ForEachNode(func(c mesh.Coord) {
-		if f.NodeFaulty(c) {
-			return
-		}
-		if _, isLamb := lambIdx[m.Index(c)]; isLamb {
-			return
-		}
-		survivors = append(survivors, c.Clone())
-	})
+	survivors := Survivors(o.Faults(), lambs)
 	if len(survivors) < 2 {
 		return nil, fmt.Errorf("wormhole: fewer than two survivors")
 	}

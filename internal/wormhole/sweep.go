@@ -1,0 +1,177 @@
+package wormhole
+
+// Saturation sweeps: the open-loop methodology's headline plot is packet
+// latency versus injection rate, swept from light load to past saturation.
+// Each (rate, trial) cell is an independent engine run with its own
+// deterministically seeded rng, so the sweep parallelizes over a worker
+// pool with bit-identical results at any worker count.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lambmesh/internal/mesh"
+	"lambmesh/internal/par"
+	"lambmesh/internal/routing"
+)
+
+// SweepSpec describes an injection-rate saturation sweep.
+type SweepSpec struct {
+	// Rates are the injection probabilities (packets/node/cycle) to sweep,
+	// in the order the results should be reported.
+	Rates []float64
+	// Trials per rate point; each trial draws an independent workload.
+	Trials int
+	// Pattern, PacketFlits, HotspotFraction parameterize every workload.
+	Pattern         Pattern
+	PacketFlits     int
+	HotspotFraction float64
+	// Warmup/Measure/Drain are the engine phase windows (cycles).
+	Warmup, Measure, Drain int
+	// Net is the router microarchitecture; Net.VirtualChannels also caps
+	// the per-round VC assignment of the generated routes.
+	Net Config
+	// Seed makes the whole sweep reproducible. Cell (rate i, trial t)
+	// derives its rng from Seed, i, and t only, never from scheduling.
+	Seed int64
+	// Workers bounds the trial-level worker pool; <= 0 means NumCPU.
+	Workers int
+}
+
+// SweepPoint aggregates the trials of one rate point.
+type SweepPoint struct {
+	Rate   float64
+	Trials int
+
+	OfferedFlitRate  float64 // mean realized offered load, flits/node/cycle
+	AcceptedFlitRate float64 // mean accepted throughput, flits/node/cycle
+	MeanLatency      float64 // mean over trials of mean sample latency
+	P99Latency       float64 // mean over trials of p99 sample latency
+	MaxLatency       int     // max over trials
+
+	DeliveredFraction float64 // delivered sample packets / generated
+	Saturated         bool    // any trial saturated
+	Deadlocked        bool    // any trial tripped the watchdog
+
+	VCMeanUtil []float64 // mean over trials, per VC
+}
+
+// RunSweep runs Trials independent engine runs at every rate over the given
+// faulty mesh and lamb set, fanning the (rate, trial) cells out over the
+// worker pool. The oracle is built once and shared (it is safe for
+// concurrent reads); each cell generates, routes, and simulates its own
+// workload. Results are deterministic for any worker count.
+func RunSweep(f *mesh.FaultSet, orders routing.MultiOrder, lambs []mesh.Coord, spec SweepSpec) ([]SweepPoint, error) {
+	if len(spec.Rates) == 0 {
+		return nil, fmt.Errorf("wormhole: sweep needs at least one rate")
+	}
+	if spec.Trials < 1 {
+		return nil, fmt.Errorf("wormhole: sweep needs at least one trial per rate")
+	}
+	for _, r := range spec.Rates {
+		if r <= 0 || r > 1 {
+			return nil, fmt.Errorf("wormhole: injection rate %v outside (0, 1]", r)
+		}
+	}
+	o := routing.NewOracle(f)
+	cells := len(spec.Rates) * spec.Trials
+	results := make([]EngineResult, cells)
+	errs := make([]error, cells)
+	par.Do(spec.Workers, cells, func(ci int) {
+		ri, ti := ci/spec.Trials, ci%spec.Trials
+		// A fixed odd multiplier spreads the per-cell seeds; any injective
+		// map works, determinism is what matters.
+		rng := rand.New(rand.NewSource(spec.Seed + 1_000_003*int64(ri) + int64(ti)))
+		res, err := runCell(o, orders, lambs, spec, spec.Rates[ri], rng)
+		if err != nil {
+			errs[ci] = fmt.Errorf("rate %v trial %d: %w", spec.Rates[ri], ti, err)
+			return
+		}
+		results[ci] = res
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	points := make([]SweepPoint, len(spec.Rates))
+	for ri, rate := range spec.Rates {
+		p := SweepPoint{Rate: rate, Trials: spec.Trials, VCMeanUtil: make([]float64, spec.Net.VirtualChannels)}
+		var samples, delivered int
+		for ti := 0; ti < spec.Trials; ti++ {
+			r := results[ri*spec.Trials+ti]
+			p.OfferedFlitRate += r.OfferedFlitRate
+			p.AcceptedFlitRate += r.AcceptedFlitRate
+			p.MeanLatency += r.MeanLatency
+			p.P99Latency += float64(r.P99Latency)
+			if r.MaxLatency > p.MaxLatency {
+				p.MaxLatency = r.MaxLatency
+			}
+			samples += r.SamplePackets
+			delivered += r.SampleDelivered
+			p.Saturated = p.Saturated || r.Saturated
+			p.Deadlocked = p.Deadlocked || r.Deadlocked
+			for v := range p.VCMeanUtil {
+				p.VCMeanUtil[v] += r.VCMeanUtil[v]
+			}
+		}
+		n := float64(spec.Trials)
+		p.OfferedFlitRate /= n
+		p.AcceptedFlitRate /= n
+		p.MeanLatency /= n
+		p.P99Latency /= n
+		for v := range p.VCMeanUtil {
+			p.VCMeanUtil[v] /= n
+		}
+		if samples > 0 {
+			p.DeliveredFraction = float64(delivered) / float64(samples)
+		}
+		points[ri] = p
+	}
+	return points, nil
+}
+
+// runCell is one (rate, trial) cell: generate, build, run.
+func runCell(o *routing.Oracle, orders routing.MultiOrder, lambs []mesh.Coord,
+	spec SweepSpec, rate float64, rng *rand.Rand) (EngineResult, error) {
+	wl := WorkloadSpec{
+		Pattern:         spec.Pattern,
+		Rate:            rate,
+		PacketFlits:     spec.PacketFlits,
+		Cycles:          spec.Warmup + spec.Measure,
+		HotspotFraction: spec.HotspotFraction,
+	}
+	packets, err := GenerateWorkload(o, orders, lambs, wl, spec.Net.VirtualChannels, rng)
+	if err != nil {
+		return EngineResult{}, err
+	}
+	nodes := survivorCount(o.Faults(), lambs)
+	eng, err := NewEngine(o.Faults(), EngineConfig{
+		Net:           spec.Net,
+		WarmupCycles:  spec.Warmup,
+		MeasureCycles: spec.Measure,
+		DrainCycles:   spec.Drain,
+		Nodes:         nodes,
+	}, packets)
+	if err != nil {
+		return EngineResult{}, err
+	}
+	return eng.Run(), nil
+}
+
+// survivorCount avoids materializing the survivor list per cell.
+func survivorCount(f *mesh.FaultSet, lambs []mesh.Coord) int {
+	n := int(f.Mesh().Nodes()) - f.NumNodeFaults()
+	seen := make(map[int64]struct{}, len(lambs))
+	m := f.Mesh()
+	for _, c := range lambs {
+		idx := m.Index(c)
+		if _, dup := seen[idx]; dup || f.NodeFaulty(c) {
+			continue
+		}
+		seen[idx] = struct{}{}
+		n--
+	}
+	return n
+}

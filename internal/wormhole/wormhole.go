@@ -102,6 +102,7 @@ type Network struct {
 	chanStamp []int // per channel id: last stamp the channel carried a flit
 	stamp     int   // current cycle's stamp (starts at 1)
 	busy      []int // per channel id: cycles it carried a flit
+	vcBusy    []int // per VC id: cycles it carried a flit
 
 	// Result summary, valid after Run.
 	Cycles     int
@@ -134,6 +135,7 @@ func NewNetwork(f *mesh.FaultSet, cfg Config, msgs []*Message) (*Network, error)
 		vcFlits:   make([]int, numChans*cfg.VirtualChannels),
 		chanStamp: make([]int, numChans),
 		busy:      make([]int, numChans),
+		vcBusy:    make([]int, numChans*cfg.VirtualChannels),
 	}
 	for i := range n.vcOwner {
 		n.vcOwner[i] = -1
@@ -188,6 +190,7 @@ func (n *Network) Reset() {
 	clear(n.vcFlits)
 	clear(n.chanStamp)
 	clear(n.busy)
+	clear(n.vcBusy)
 	n.stamp = 0
 	n.Cycles, n.Deadlocked, n.MovesTotal = 0, false, 0
 	for _, m := range n.msgs {
@@ -226,6 +229,40 @@ func (n *Network) LinkUtilization() (mean, max float64) {
 		return 0, 0
 	}
 	return sum / float64(touched), max
+}
+
+// VCUtilizationInto fills meanPerVC[v] (and maxPerVC[v]) with the mean
+// (max) fraction of the last `cycles` cycles that virtual channel v of the
+// physical channels touched by the workload spent carrying flits. Both
+// slices must have length cfg.VirtualChannels; the caller owns them, so the
+// traffic engine's measurement loop stays allocation-free. Channels a VC
+// never touched are excluded from its mean, mirroring LinkUtilization.
+func (n *Network) VCUtilizationInto(cycles int, meanPerVC, maxPerVC []float64) {
+	for v := 0; v < n.cfg.VirtualChannels; v++ {
+		meanPerVC[v], maxPerVC[v] = 0, 0
+	}
+	if cycles <= 0 {
+		return
+	}
+	vcs := n.cfg.VirtualChannels
+	for v := 0; v < vcs; v++ {
+		sum, touched := 0.0, 0
+		for id := v; id < len(n.vcBusy); id += vcs {
+			b := n.vcBusy[id]
+			if b == 0 {
+				continue
+			}
+			touched++
+			u := float64(b) / float64(cycles)
+			sum += u
+			if u > maxPerVC[v] {
+				maxPerVC[v] = u
+			}
+		}
+		if touched > 0 {
+			meanPerVC[v] = sum / float64(touched)
+		}
+	}
 }
 
 // Run simulates until every message is delivered, a deadlock is detected,
@@ -336,6 +373,7 @@ func (n *Network) stepMessage(m *Message, cycle int) int {
 		n.vcFlits[m.hopVC[i]]--
 		n.chanStamp[nc] = n.stamp
 		n.busy[nc]++
+		n.vcBusy[nv]++
 		if isHead {
 			m.headHop = i + 1
 		}
@@ -355,6 +393,7 @@ func (n *Network) stepMessage(m *Message, cycle int) int {
 			m.remaining--
 			n.chanStamp[c0] = n.stamp
 			n.busy[c0]++
+			n.vcBusy[v0]++
 			if !m.injectedAny {
 				m.injectedAny = true
 				m.headHop = 0

@@ -53,6 +53,7 @@ var requiredBenchmarks = []string{
 	"BenchmarkBitmatMul",
 	"BenchmarkSec5LambSet",
 	"BenchmarkWormholeRun",
+	"BenchmarkTrafficEngine",
 }
 
 // budgetFile is the checked-in allocation budget table: for each benchmark,
