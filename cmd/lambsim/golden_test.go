@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lambmesh/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with the current output")
+
+// checkGolden compares got against testdata/golden/<name>, or rewrites the
+// file when the test runs with -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with 'go test -run TestGolden -update ./...'): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from its golden file:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestGoldenOutputs pins the exact table bytes of each output format on two
+// cheap deterministic experiments. Timing lines go to stderr, so stdout is a
+// pure function of the flags; any diff is an intentional format change
+// (regenerate with -update) or a determinism regression.
+func TestGoldenOutputs(t *testing.T) {
+	selected, err := selectExperiments("sec5lamb,prop65")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Config{Trials: 3, Seed: 5, Workers: 2}
+	for _, format := range []string{"text", "md", "csv"} {
+		format := format
+		t.Run(format, func(t *testing.T) {
+			t.Parallel()
+			render, err := rendererFor(format)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out bytes.Buffer
+			runExperiments(&out, io.Discard, render, selected, cfg, format)
+			checkGolden(t, format+".txt", out.Bytes())
+		})
+	}
+}

@@ -50,12 +50,20 @@ func main() {
 		os.Exit(2)
 	}
 
+	runExperiments(os.Stdout, os.Stderr, render, selected, cfg, *format)
+}
+
+// runExperiments renders each experiment's table to w. Timing goes to logw
+// (stderr in main), keeping w a pure function of the flags — the golden
+// tests pin its bytes.
+func runExperiments(w, logw io.Writer, render func(*sim.Table) string,
+	selected []sim.Experiment, cfg sim.Config, format string) {
 	for _, e := range selected {
 		start := time.Now()
 		tab := e.Run(cfg)
-		fmt.Println(render(tab))
-		if *format == "text" {
-			fmt.Printf("(%s finished in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		fmt.Fprintln(w, render(tab))
+		if format == "text" {
+			fmt.Fprintf(logw, "(%s finished in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
 		}
 	}
 }

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with the current output")
+
+// checkGolden compares got against testdata/golden/<name>, or rewrites the
+// file when the test runs with -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with 'go test -run TestGolden -update ./...'): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from its golden file:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestGoldenOutputs pins the exact bytes of every output format, static and
+// live. The output is documented to be a pure function of the flags, so any
+// diff here is either an intentional format change (regenerate with -update)
+// or a determinism regression.
+func TestGoldenOutputs(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"static-table.txt", smallArgs("-sweep", "-rates", "0.01,0.05")},
+		{"static-csv.txt", smallArgs("-sweep", "-rates", "0.01,0.05", "-format", "csv")},
+		{"static-json.txt", smallArgs("-sweep", "-rates", "0.01,0.05", "-format", "json")},
+		{"live-table.txt", smallArgs("-fault-schedule", "testdata/schedule.txt")},
+		{"live-csv.txt", smallArgs("-fault-schedule", "testdata/schedule.txt", "-format", "csv")},
+		{"live-json.txt", smallArgs("-fault-schedule", "testdata/schedule.txt", "-format", "json")},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			checkGolden(t, tc.name, []byte(runWormsim(t, tc.args)))
+		})
+	}
+}

@@ -9,6 +9,14 @@
 //	wormsim -mesh 16x16 -faults 10 -rate 0.02 -pattern uniform
 //	wormsim -mesh 16x16 -faults 10 -sweep -rates 0.005,0.01,0.02,0.05,0.1
 //	        -trials 4 -format csv
+//	wormsim -mesh 16x16 -faults 8 -rate 0.02 -fault-schedule events.txt
+//	wormsim -mesh 16x16 -faults 8 -rate 0.02 -mtbf 400
+//
+// With -fault-schedule or -mtbf the lamb case becomes a live run: the
+// scheduled (or randomly drawn) faults strike mid-simulation, the lamb set
+// is recomputed on the fly, killed worms are retransmitted, and the output
+// gains recovery columns (reconfigurations, dropped worms, retransmits,
+// lost packets, recovery latency). The baseline stays clean.
 //
 // Output is a pure function of the flags: at a fixed -seed the bytes are
 // identical for any -workers value, so sweeps are safe to diff across
@@ -53,7 +61,13 @@ type cliConfig struct {
 	rates    []float64
 	baseline bool
 	format   string
+
+	schedule wormhole.FaultSchedule
+	mtbf     float64
 }
+
+// live reports whether the run injects faults mid-simulation.
+func (c *cliConfig) live() bool { return !c.schedule.Empty() || c.mtbf > 0 }
 
 // defaultSweepRates spans light load to past saturation for small meshes.
 var defaultSweepRates = []float64{0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2}
@@ -81,6 +95,8 @@ func parseConfig(args []string) (*cliConfig, error) {
 		rate        = fs.Float64("rate", 0.02, "injection rate, packets/node/cycle (single-point mode)")
 		baseline    = fs.Bool("baseline", true, "also run the fault-free mesh as a baseline")
 		format      = fs.String("format", "table", "output format: table, csv, json")
+		schedFlag   = fs.String("fault-schedule", "", "fault-schedule file: faults injected mid-run into the lamb case (baseline stays clean)")
+		mtbf        = fs.Float64("mtbf", 0, "mean cycles between random mid-run node faults in the lamb case; 0 disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -121,6 +137,15 @@ func parseConfig(args []string) (*cliConfig, error) {
 	if cfg.k < 1 || cfg.vcs < 1 || cfg.packet < 1 || cfg.trials < 1 ||
 		cfg.warmup < 0 || cfg.measure < 1 || cfg.nFaults < 0 {
 		return nil, fmt.Errorf("k, vcs, packet, trials must be >= 1; warmup, faults >= 0; measure >= 1")
+	}
+	if *mtbf < 0 {
+		return nil, fmt.Errorf("negative -mtbf %v", *mtbf)
+	}
+	cfg.mtbf = *mtbf
+	if *schedFlag != "" {
+		if cfg.schedule, err = wormhole.ReadScheduleFile(*schedFlag); err != nil {
+			return nil, err
+		}
 	}
 	return cfg, nil
 }
@@ -173,6 +198,14 @@ type sweepRow struct {
 	Saturated bool    `json:"saturated"`
 	Deadlock  bool    `json:"deadlocked"`
 	VCUtil    string  `json:"vcMeanUtil"` // space-joined per-VC means
+
+	// Mid-run recovery aggregates; all zero unless the run is live.
+	Reconfigs    int     `json:"reconfigurations"`
+	DroppedWorms int     `json:"droppedWorms"`
+	Retransmits  int     `json:"retransmits"`
+	Lost         int     `json:"lostPackets"`
+	MeanRecovery float64 `json:"meanRecoveryLatency"`
+	Unrecovered  int     `json:"unrecovered"`
 }
 
 // report is the full JSON document; table/csv emit only the rows.
@@ -187,6 +220,7 @@ type report struct {
 	Packet    int        `json:"packetFlits"`
 	Trials    int        `json:"trials"`
 	Seed      int64      `json:"seed"`
+	Live      bool       `json:"live"` // mid-run fault injection active
 	Rows      []sweepRow `json:"rows"`
 }
 
@@ -234,8 +268,14 @@ func run(cfg *cliConfig, w io.Writer) error {
 		Packet:    cfg.packet,
 		Trials:    cfg.trials,
 		Seed:      cfg.seed,
+		Live:      cfg.live(),
 	}
-	lamb, err := wormhole.RunSweep(faults, orders, res.Lambs, spec)
+	// Mid-run faults strike the lamb case only: the baseline stays the
+	// clean fault-free reference the recovery numbers are read against.
+	lambSpec := spec
+	lambSpec.Schedule = cfg.schedule
+	lambSpec.MTBF = cfg.mtbf
+	lamb, err := wormhole.RunSweep(faults, orders, res.Lambs, lambSpec)
 	if err != nil {
 		return err
 	}
@@ -263,6 +303,9 @@ func appendRows(rows []sweepRow, name string, points []wormhole.SweepPoint) []sw
 			MeanLat: p.MeanLatency, P99Lat: p.P99Latency, MaxLat: p.MaxLatency,
 			Delivered: p.DeliveredFraction, Saturated: p.Saturated,
 			Deadlock: p.Deadlocked, VCUtil: strings.Join(util, " "),
+			Reconfigs: p.Reconfigurations, DroppedWorms: p.DroppedWorms,
+			Retransmits: p.Retransmits, Lost: p.LostPackets,
+			MeanRecovery: p.MeanRecoveryLatency, Unrecovered: p.Unrecovered,
 		})
 	}
 	return rows
@@ -275,24 +318,45 @@ func render(w io.Writer, format string, rep report) error {
 		enc.SetIndent("", "  ")
 		return enc.Encode(rep)
 	case "csv":
-		fmt.Fprintln(w, "case,rate,offered,accepted,mean_latency,p99_latency,max_latency,delivered,saturated,deadlocked,vc_mean_util")
+		header := "case,rate,offered,accepted,mean_latency,p99_latency,max_latency,delivered,saturated,deadlocked,vc_mean_util"
+		if rep.Live {
+			header += ",reconfigs,dropped_worms,retransmits,lost,mean_recovery,unrecovered"
+		}
+		fmt.Fprintln(w, header)
 		for _, r := range rep.Rows {
-			fmt.Fprintf(w, "%s,%g,%.6f,%.6f,%.3f,%.1f,%d,%.4f,%t,%t,%s\n",
+			fmt.Fprintf(w, "%s,%g,%.6f,%.6f,%.3f,%.1f,%d,%.4f,%t,%t,%s",
 				r.Case, r.Rate, r.Offered, r.Accepted, r.MeanLat, r.P99Lat,
 				r.MaxLat, r.Delivered, r.Saturated, r.Deadlock,
 				strings.ReplaceAll(r.VCUtil, " ", "|"))
+			if rep.Live {
+				fmt.Fprintf(w, ",%d,%d,%d,%d,%.1f,%d",
+					r.Reconfigs, r.DroppedWorms, r.Retransmits, r.Lost,
+					r.MeanRecovery, r.Unrecovered)
+			}
+			fmt.Fprintln(w)
 		}
 		return nil
 	default: // table
 		fmt.Fprintf(w, "mesh %s, %d faults, %d lambs, %d survivors, %d rounds on %d VCs, pattern %s, %d-flit packets, %d trials, seed %d\n",
 			rep.Mesh, rep.Faults, rep.Lambs, rep.Survivors, rep.Rounds, rep.VCs,
 			rep.Pattern, rep.Packet, rep.Trials, rep.Seed)
-		fmt.Fprintf(w, "%-9s %8s %9s %9s %10s %8s %7s %9s %5s %5s\n",
+		header := fmt.Sprintf("%-9s %8s %9s %9s %10s %8s %7s %9s %5s %5s",
 			"case", "rate", "offered", "accepted", "mean_lat", "p99_lat", "max_lat", "delivered", "sat", "dead")
+		if rep.Live {
+			header += fmt.Sprintf(" %8s %7s %7s %5s %9s %6s",
+				"reconfig", "dropped", "retrans", "lost", "recovery", "unrec")
+		}
+		fmt.Fprintln(w, header)
 		for _, r := range rep.Rows {
-			fmt.Fprintf(w, "%-9s %8g %9.5f %9.5f %10.2f %8.1f %7d %9.4f %5t %5t\n",
+			fmt.Fprintf(w, "%-9s %8g %9.5f %9.5f %10.2f %8.1f %7d %9.4f %5t %5t",
 				r.Case, r.Rate, r.Offered, r.Accepted, r.MeanLat, r.P99Lat,
 				r.MaxLat, r.Delivered, r.Saturated, r.Deadlock)
+			if rep.Live {
+				fmt.Fprintf(w, " %8d %7d %7d %5d %9.1f %6d",
+					r.Reconfigs, r.DroppedWorms, r.Retransmits, r.Lost,
+					r.MeanRecovery, r.Unrecovered)
+			}
+			fmt.Fprintln(w)
 		}
 		return nil
 	}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math/rand"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -94,33 +95,59 @@ func TestRunLambPointDeterministic(t *testing.T) {
 	}
 }
 
-// Every registered experiment must run end to end at a tiny trial count and
-// produce a non-empty, well-formed table.
-func TestAllExperimentsSmoke(t *testing.T) {
+// Every registered experiment must run end to end at a tiny trial count,
+// produce a non-empty well-formed table, and be a pure function of the
+// config: two runs with the same seed must render identically, at one worker
+// and at full parallelism. The heavy trio is skipped here (exercised via the
+// CLI) to keep the suite's runtime sane.
+func TestAllExperiments(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiments are slow; skipping in -short")
 	}
-	cfg := Config{Trials: 5, Seed: 2, Workers: 2}
+	heavy := map[string]bool{"fig24": true, "fig26": true, "sec3one": true}
+	// timed experiments report wall-clock measurements; their renders cannot
+	// be compared across runs (structure is still checked).
+	timed := map[string]bool{"abl-sptree": true}
 	seen := map[string]bool{}
 	for _, e := range Registry() {
 		if seen[e.ID] {
 			t.Fatalf("duplicate experiment id %q", e.ID)
 		}
 		seen[e.ID] = true
-		if e.ID == "fig24" || e.ID == "fig26" || e.ID == "sec3one" {
-			continue // exercised by TestHeavyExperimentSpot below and the CLI
-		}
-		tab := e.Run(cfg)
-		if tab == nil || tab.ID != e.ID {
-			t.Fatalf("experiment %q returned bad table", e.ID)
-		}
-		if len(tab.Rows) == 0 {
-			t.Errorf("experiment %q produced no rows", e.ID)
-		}
-		if got := tab.Render(); !strings.Contains(got, e.ID) {
-			t.Errorf("experiment %q render missing id", e.ID)
-		}
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			if heavy[e.ID] {
+				t.Skip("heavy; exercised via the CLI")
+			}
+			tab := e.Run(Config{Trials: 5, Seed: 2, Workers: 1})
+			if tab == nil || tab.ID != e.ID {
+				t.Fatalf("experiment returned bad table: %+v", tab)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatal("experiment produced no rows")
+			}
+			for i, row := range tab.Rows {
+				if len(row) != len(tab.Columns) {
+					t.Fatalf("row %d has %d cells for %d columns", i, len(row), len(tab.Columns))
+				}
+			}
+			if got := tab.Render(); !strings.Contains(got, e.ID) {
+				t.Errorf("render missing id:\n%s", got)
+			}
+			if timed[e.ID] {
+				return
+			}
+			again := e.Run(Config{Trials: 5, Seed: 2, Workers: runtime.NumCPU()})
+			if tab.Render() != again.Render() {
+				t.Errorf("not deterministic across runs/worker counts:\n%s\nvs\n%s",
+					tab.Render(), again.Render())
+			}
+		})
 	}
+}
+
+func TestLookup(t *testing.T) {
 	if _, ok := Lookup("fig18"); !ok {
 		t.Error("Lookup(fig18) failed")
 	}
@@ -174,18 +201,69 @@ func TestTableMarkdownAndCSV(t *testing.T) {
 	}
 }
 
-// Experiments must be deterministic under a fixed config (same seed, any
-// worker count). Checked on the cheap deterministic-by-construction ones.
-func TestExperimentDeterminism(t *testing.T) {
-	for _, id := range []string{"table1", "table2", "sec5lamb", "fig15", "prop65", "hardness", "worm", "ext-congestion"} {
-		e, ok := Lookup(id)
-		if !ok {
-			t.Fatalf("experiment %q missing", id)
+// Direct tests for the experiment-builder helpers on tiny meshes: the
+// builders must produce one row per configured sweep value with the
+// advertised column structure.
+func TestSweepExperimentHelper(t *testing.T) {
+	run := sweepExperiment("t-sweep", 1, []int{8, 8}, "ref")
+	tab := run(Config{Trials: 3, Seed: 6, Workers: 1})
+	if tab.ID != "t-sweep" || tab.Paper != "ref" {
+		t.Fatalf("table header wrong: %+v", tab)
+	}
+	if len(tab.Rows) != len(paperFaultPercents) {
+		t.Errorf("rows = %d, want one per fault percentage (%d)", len(tab.Rows), len(paperFaultPercents))
+	}
+	if len(tab.Columns) != 6 {
+		t.Errorf("columns = %v", tab.Columns)
+	}
+}
+
+func TestRatioExperimentHelper(t *testing.T) {
+	run := ratioExperiment("t-ratio", 1, [][]int{{6, 6}, {8, 8}})
+	tab := run(Config{Trials: 3, Seed: 6, Workers: 1})
+	if len(tab.Rows) != len(paperRatios) {
+		t.Errorf("rows = %d, want one per ratio (%d)", len(tab.Rows), len(paperRatios))
+	}
+	if len(tab.Columns) != 3 { // ratio column plus one per mesh
+		t.Errorf("columns = %v", tab.Columns)
+	}
+}
+
+func TestSizeExperimentHelper(t *testing.T) {
+	run := sizeExperiment("t-size", 1, 2, []int{6, 8})
+	tab := run(Config{Trials: 3, Seed: 6, Workers: 1})
+	if len(tab.Rows) != 2 {
+		t.Errorf("rows = %d, want one per size", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "6" || tab.Rows[1][0] != "8" {
+		t.Errorf("size column wrong: %v", tab.Rows)
+	}
+	if tab.Rows[1][1] != "64" {
+		t.Errorf("node count for n=8, d=2 should be 64: %v", tab.Rows[1])
+	}
+}
+
+// The worm-recovery experiment must report a reconfiguration and sane
+// recovery accounting in every row: the scheduled event always introduces
+// genuinely new faults.
+func TestWormRecoveryExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	e, ok := Lookup("worm-recovery")
+	if !ok {
+		t.Fatal("worm-recovery missing from the registry")
+	}
+	tab := e.Run(Config{Trials: 5, Seed: 3, Workers: runtime.NumCPU()})
+	if len(tab.Rows) != 6 { // two meshes x three event sizes
+		t.Fatalf("rows = %d, want 6", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[2] == "0" {
+			t.Errorf("row %v reports no reconfigurations", row)
 		}
-		a := e.Run(Config{Trials: 5, Seed: 9, Workers: 1})
-		b := e.Run(Config{Trials: 5, Seed: 9, Workers: 3})
-		if a.Render() != b.Render() {
-			t.Errorf("experiment %q not deterministic:\n%s\nvs\n%s", id, a.Render(), b.Render())
+		if row[7] == "" {
+			t.Errorf("row %v missing recovery latency", row)
 		}
 	}
 }
@@ -198,7 +276,7 @@ func TestRegistryCoversDesignIndex(t *testing.T) {
 		"sec3one", "sec3two", "fig15", "prop65", "hardness",
 		"abl-rounds", "abl-vcover", "abl-blockfault", "abl-sptree", "worm",
 		"ext-linkfaults", "ext-reconfig", "ext-congestion", "ext-torus",
-		"worm-saturation",
+		"worm-saturation", "worm-recovery",
 	}
 	for _, id := range ids {
 		if _, ok := Lookup(id); !ok {

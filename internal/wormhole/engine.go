@@ -66,12 +66,23 @@ type EngineResult struct {
 	MaxLatency  int
 
 	// Saturated reports that the run ended with undelivered sample packets
-	// or with accepted throughput more than 5% below offered.
+	// or with accepted throughput more than 5% below offered. Packets lost
+	// to mid-run faults are excluded from both checks.
 	Saturated bool
 
 	// Per-VC mean/max utilization of touched channels over the whole run.
 	VCMeanUtil []float64
 	VCMaxUtil  []float64
+
+	// Recovery metrics, populated only by live runs (NewLiveEngine); all
+	// zero for a static engine or an empty fault schedule.
+	Reconfigurations int             // fault events that changed the configuration
+	DroppedWorms     int             // in-flight worms killed by new faults
+	DroppedFlits     int             // flits in flight when their worm was killed
+	Retransmits      int             // killed worms re-queued on a new route
+	ReroutedPending  int             // queued packets rerouted before release
+	LostPackets      int             // packets whose endpoint died (never delivered)
+	RecoveryEvents   []EventRecovery // per applied event, in application order
 }
 
 // Engine drives a pre-generated workload (GenerateWorkload) through a
@@ -92,9 +103,18 @@ type Engine struct {
 	vcMean    []float64
 	vcMax     []float64
 
+	// lastReleased tracks, per node, the worm most recently released from
+	// its injection port. The next packet may release only once that worm
+	// has fully left the source — or once a mid-run fault killed it, which
+	// frees the port (the live engine clears the entry).
+	lastReleased []*Message
+
 	samplePackets int
 	offeredFlits  int // flits generated inside the measurement window
 	maxFlits      int // longest packet, for the saturation noise floor
+
+	// live holds mid-run fault-injection state (nil for static engines).
+	live *liveState
 }
 
 // NewEngine validates the workload against the faulty mesh (via NewNetwork)
@@ -117,15 +137,16 @@ func NewEngine(f *mesh.FaultSet, cfg EngineConfig, packets []*Message) (*Engine,
 	}
 	m := f.Mesh()
 	e := &Engine{
-		net:       net,
-		cfg:       cfg,
-		packets:   packets,
-		queueOf:   make([][]*Message, m.Nodes()),
-		qhead:     make([]int, m.Nodes()),
-		active:    make([]*Message, 0, len(packets)),
-		latencies: make([]int, 0, len(packets)),
-		vcMean:    make([]float64, cfg.Net.VirtualChannels),
-		vcMax:     make([]float64, cfg.Net.VirtualChannels),
+		net:          net,
+		cfg:          cfg,
+		packets:      packets,
+		queueOf:      make([][]*Message, m.Nodes()),
+		qhead:        make([]int, m.Nodes()),
+		active:       make([]*Message, 0, len(packets)),
+		latencies:    make([]int, 0, len(packets)),
+		vcMean:       make([]float64, cfg.Net.VirtualChannels),
+		vcMax:        make([]float64, cfg.Net.VirtualChannels),
+		lastReleased: make([]*Message, m.Nodes()),
 	}
 	horizon := cfg.WarmupCycles + cfg.MeasureCycles
 	for _, p := range packets {
@@ -157,26 +178,37 @@ func NewEngine(f *mesh.FaultSet, cfg EngineConfig, packets []*Message) (*Engine,
 }
 
 // Reset rewinds the engine and its network so the same workload can run
-// again; the benchmarks measure the steady-state cycle loop this way.
+// again; the benchmarks measure the steady-state cycle loop this way. Live
+// engines are single-run: a mid-run reconfiguration rewrites routes and
+// queues in ways Reset does not undo.
 func (e *Engine) Reset() {
 	e.net.Reset()
 	clear(e.qhead)
+	clear(e.lastReleased)
 	e.active = e.active[:0]
 	e.latencies = e.latencies[:0]
 }
 
-// sumEjected totals flits consumed at destinations so far.
-func (e *Engine) sumEjected() int {
-	total := 0
-	for _, p := range e.packets {
-		total += p.ejected
+// Run executes warm-up, measurement, and drain, and returns the summary.
+// The loop allocates nothing; all scratch was sized in NewEngine. For a
+// live engine Run panics on reconfiguration errors; use RunLive to get
+// them as errors.
+func (e *Engine) Run() EngineResult {
+	r, err := e.run(e.live)
+	if err != nil {
+		panic(err)
 	}
-	return total
+	return r
 }
 
-// Run executes warm-up, measurement, and drain, and returns the summary.
-// The loop allocates nothing; all scratch was sized in NewEngine.
-func (e *Engine) Run() EngineResult {
+// RunLive is Run for engines built with NewLiveEngine: reconfiguration
+// failures (a lamb recompute or reroute that cannot succeed) surface as
+// errors instead of panics.
+func (e *Engine) RunLive() (EngineResult, error) {
+	return e.run(e.live)
+}
+
+func (e *Engine) run(live *liveState) (EngineResult, error) {
 	n := e.net
 	horizon := e.cfg.WarmupCycles + e.cfg.MeasureCycles
 	limit := horizon + e.cfg.DrainCycles
@@ -188,14 +220,24 @@ func (e *Engine) Run() EngineResult {
 	stall := 0
 	cycle := 0
 	for ; undelivered > 0 && cycle < limit; cycle++ {
+		// Mid-run fault events strike at the start of their cycle, before
+		// any release or flit movement.
+		if live != nil {
+			if err := live.applyDue(e, cycle, &undelivered); err != nil {
+				return EngineResult{}, err
+			}
+		}
+
 		// Release: a node's next packet enters the network once its
 		// generation time has come and the previous worm has fully left
 		// the source (single injection port per node).
 		for _, v := range e.nodes {
 			q := e.queueOf[v]
 			h := e.qhead[v]
-			for h < len(q) && q[h].InjectAt <= cycle && (h == 0 || q[h-1].remaining == 0) {
+			for h < len(q) && q[h].InjectAt <= cycle &&
+				(e.lastReleased[v] == nil || e.lastReleased[v].remaining == 0) {
 				e.active = append(e.active, q[h])
+				e.lastReleased[v] = q[h]
 				h++
 			}
 			e.qhead[v] = h
@@ -238,20 +280,24 @@ func (e *Engine) Run() EngineResult {
 			stall = 0
 		}
 
+		if live != nil {
+			live.endCycle(e, cycle)
+		}
+
 		if cycle == e.cfg.WarmupCycles-1 {
-			ejectedAtWarmup = e.sumEjected()
+			ejectedAtWarmup = n.ejectedTotal
 		}
 		if cycle == horizon-1 {
-			ejectedAtMeasureEnd = e.sumEjected()
+			ejectedAtMeasureEnd = n.ejectedTotal
 		}
 	}
 	if ejectedAtMeasureEnd < 0 { // run ended inside the window (deadlock/limit)
-		ejectedAtMeasureEnd = e.sumEjected()
+		ejectedAtMeasureEnd = n.ejectedTotal
 	}
-	return e.summarize(cycle, ejectedAtMeasureEnd-ejectedAtWarmup)
+	return e.summarize(cycle, ejectedAtMeasureEnd-ejectedAtWarmup, live), nil
 }
 
-func (e *Engine) summarize(cycles, windowFlits int) EngineResult {
+func (e *Engine) summarize(cycles, windowFlits int, live *liveState) EngineResult {
 	r := EngineResult{
 		Cycles:        cycles,
 		Deadlocked:    e.net.Deadlocked,
@@ -288,10 +334,23 @@ func (e *Engine) summarize(cycles, windowFlits int) EngineResult {
 	// throughput sits measurably below offered. The absolute guard (a few
 	// packets' worth of flits) keeps window-boundary noise at light loads —
 	// a worm half-ejected when the window closes — from reading as
-	// saturation.
-	deficit := float64(e.offeredFlits - windowFlits)
-	r.Saturated = r.SampleDelivered < r.SamplePackets ||
-		(deficit > 0.05*float64(e.offeredFlits) && deficit > 4*float64(e.maxFlits))
+	// saturation. Packets lost to mid-run faults were never deliverable and
+	// are excluded from both checks.
+	offered, sampleLost := e.offeredFlits, 0
+	if live != nil {
+		offered -= live.lostSampleFlits
+		sampleLost = live.sampleLost
+		r.Reconfigurations = live.reconfigs
+		r.DroppedWorms = live.droppedWorms
+		r.DroppedFlits = live.droppedFlits
+		r.Retransmits = live.retransmits
+		r.ReroutedPending = live.reroutedPending
+		r.LostPackets = live.lostPackets
+		r.RecoveryEvents = live.events
+	}
+	deficit := float64(offered - windowFlits)
+	r.Saturated = r.SampleDelivered < r.SamplePackets-sampleLost ||
+		(deficit > 0.05*float64(offered) && deficit > 4*float64(e.maxFlits))
 	e.net.VCUtilizationInto(cycles, e.vcMean, e.vcMax)
 	return r
 }

@@ -1,0 +1,391 @@
+package wormhole
+
+// Live fault injection: the engine absorbs a FaultSchedule mid-simulation.
+// At the start of a scheduled cycle the new faults are folded into a
+// core.Reconfigurer (which recomputes the lamb set with the Section 7
+// predetermined-lamb extension, so lambs stay monotone), worms whose path
+// crosses a newly-dead node or link are killed — their in-flight flits
+// dropped and counted — and the affected traffic is rerouted through the
+// new configuration: killed worms with live endpoints are re-queued at
+// their source for retransmission, queued-but-unreleased packets get fresh
+// routes in place, and packets whose source or destination died (outright
+// fault or freshly sacrificed lamb) are counted as lost. The run then
+// continues, and per-event recovery latency is measured as the number of
+// cycles until accepted throughput returns to its pre-event mean.
+//
+// Everything here runs only at reconfiguration events; the per-cycle cost
+// added to a live run is one counter read and a ring-buffer push, and a
+// static engine (live == nil) pays nothing, preserving the 0 allocs/op
+// cycle-loop discipline.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lambmesh/internal/core"
+	"lambmesh/internal/mesh"
+	"lambmesh/internal/routing"
+)
+
+// LiveConfig parameterizes mid-run fault injection for NewLiveEngine.
+type LiveConfig struct {
+	// Schedule lists the fault events; it is canonicalized and validated
+	// against the mesh at construction.
+	Schedule FaultSchedule
+	// Reconf owns the evolving fault/lamb configuration. The engine shares
+	// its fault set, so the Reconfigurer must already hold the faults the
+	// workload was routed around, and must not be mutated elsewhere during
+	// the run. KeepLambs should be set: a survivor that silently becomes a
+	// lamb mid-run loses its queued traffic.
+	Reconf *core.Reconfigurer
+	// Orders is the k-round dimension ordering used to reroute traffic
+	// (the same MultiOrder the workload was generated with).
+	Orders routing.MultiOrder
+	// RouteSeed seeds the rng used for rerouting draws, keeping live runs
+	// a pure function of (workload, schedule, RouteSeed).
+	RouteSeed int64
+	// RecoveryWindow is the width in cycles of the throughput window used
+	// for recovery detection; <= 0 means 32.
+	RecoveryWindow int
+	// RecoveryFraction is the fraction of the pre-event accepted rate that
+	// counts as recovered; <= 0 means 0.9.
+	RecoveryFraction float64
+}
+
+// EventRecovery records the impact of one applied fault event.
+type EventRecovery struct {
+	// Cycle the event was applied at.
+	Cycle int
+	// NewNodes/NewLinks count the genuinely new faults (already-faulty
+	// elements in the event are ignored).
+	NewNodes int
+	NewLinks int
+	// Killed is the number of in-flight worms removed from the network.
+	Killed int
+	// Lost is the number of packets (in flight or queued) whose source or
+	// destination died with the event.
+	Lost int
+	// PreRate is the accepted flit rate (flits/cycle, network-wide) over
+	// the RecoveryWindow cycles before the event.
+	PreRate float64
+	// RecoveryLatency is the number of cycles after the event until the
+	// windowed accepted rate first reached RecoveryFraction*PreRate again;
+	// 0 if PreRate was zero (nothing to recover), -1 if the run ended
+	// before recovery.
+	RecoveryLatency int
+}
+
+// liveState is the engine's mid-run fault-injection machinery.
+type liveState struct {
+	cfg      LiveConfig
+	sched    FaultSchedule // canonical
+	next     int           // next schedule event to apply
+	oracle   *routing.Oracle
+	routeRng *rand.Rand
+	isLamb   []bool // dense lamb flags for the current configuration
+
+	// ring holds the last window per-cycle ejected-flit counts.
+	ring        []int
+	ringPos     int
+	ringLen     int
+	prevEjected int
+	window      int
+	fraction    float64
+
+	pending []pendingRecovery
+	events  []EventRecovery
+
+	reconfigs       int
+	droppedWorms    int
+	droppedFlits    int
+	retransmits     int
+	reroutedPending int
+	lostPackets     int
+	sampleLost      int // lost packets generated inside the measurement window
+	lostSampleFlits int
+}
+
+type pendingRecovery struct {
+	idx     int // index into events
+	cycle   int // application cycle
+	preRate float64
+}
+
+// NewLiveEngine builds an Engine whose run absorbs the scheduled faults.
+// The packets must have been routed around rec's current fault set (the
+// engine validates them against it); rec evolves as events apply.
+func NewLiveEngine(cfg EngineConfig, lc LiveConfig, packets []*Message) (*Engine, error) {
+	if lc.Reconf == nil {
+		return nil, fmt.Errorf("wormhole: live engine needs a Reconfigurer")
+	}
+	f := lc.Reconf.Faults()
+	if err := lc.Schedule.Validate(f.Mesh()); err != nil {
+		return nil, err
+	}
+	if err := lc.Orders.Validate(f.Mesh().Dims()); err != nil {
+		return nil, err
+	}
+	e, err := NewEngine(f, cfg, packets)
+	if err != nil {
+		return nil, err
+	}
+	window := lc.RecoveryWindow
+	if window <= 0 {
+		window = 32
+	}
+	fraction := lc.RecoveryFraction
+	if fraction <= 0 {
+		fraction = 0.9
+	}
+	live := &liveState{
+		cfg:      lc,
+		sched:    lc.Schedule.Canonical(),
+		oracle:   routing.NewOracle(f),
+		routeRng: rand.New(rand.NewSource(lc.RouteSeed)),
+		isLamb:   make([]bool, f.Mesh().Nodes()),
+		ring:     make([]int, window),
+		window:   window,
+		fraction: fraction,
+	}
+	for _, c := range lc.Reconf.Lambs() {
+		live.isLamb[f.Mesh().Index(c)] = true
+	}
+	e.live = live
+	return e, nil
+}
+
+// applyDue applies every schedule event whose cycle has come.
+func (l *liveState) applyDue(e *Engine, cycle int, undelivered *int) error {
+	for l.next < len(l.sched.Events) && l.sched.Events[l.next].Cycle <= cycle {
+		ev := l.sched.Events[l.next]
+		l.next++
+		if err := l.applyEvent(e, ev, cycle, undelivered); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dead reports whether c can no longer be a traffic endpoint: it failed
+// outright or was sacrificed as a lamb.
+func (l *liveState) dead(f *mesh.FaultSet, c mesh.Coord) bool {
+	return f.NodeFaulty(c) || l.isLamb[f.Mesh().Index(c)]
+}
+
+// routeBroken reports whether any of msg's hops from `from` onward crosses
+// the (updated) fault set.
+func routeBroken(f *mesh.FaultSet, msg *Message, from int) bool {
+	for i := from; i < len(msg.Hops); i++ {
+		if !f.Usable(msg.Hops[i].Link) {
+			return true
+		}
+	}
+	return false
+}
+
+// reroute draws a fresh fault-free route for msg through the current
+// configuration and grafts it onto the message, rebinding its dense state.
+func (l *liveState) reroute(e *Engine, msg *Message) error {
+	vcs := e.cfg.Net.VirtualChannels
+	for attempt := 0; ; attempt++ {
+		fresh, err := RouteMessage(l.oracle, l.cfg.Orders, msg.Src, msg.Dst,
+			msg.ID, msg.Length, msg.InjectAt, vcs, l.routeRng)
+		if err != nil {
+			return err
+		}
+		if !hasVCReuse(l.oracle.Mesh(), fresh) {
+			msg.Hops = fresh.Hops
+			msg.PathHops = fresh.PathHops
+			msg.PathTurns = fresh.PathTurns
+			break
+		}
+		if attempt >= 50 {
+			return fmt.Errorf("wormhole: could not redraw a self-overlap-free route for packet %d", msg.ID)
+		}
+	}
+	msg.Delivered = false
+	msg.DoneCycle = 0
+	msg.StartCycle = 0
+	return e.net.bindMessage(msg)
+}
+
+// applyEvent folds one fault event into the configuration and repairs the
+// traffic state: kill, reroute, requeue, and account.
+func (l *liveState) applyEvent(e *Engine, ev FaultEvent, cycle int, undelivered *int) error {
+	rec := l.cfg.Reconf
+	f := rec.Faults()
+	m := f.Mesh()
+
+	// Only genuinely new faults trigger a reconfiguration.
+	var newNodes []mesh.Coord
+	for _, c := range ev.Nodes {
+		if !f.NodeFaulty(c) {
+			newNodes = append(newNodes, c)
+		}
+	}
+	var newLinks []mesh.Link
+	for _, lk := range ev.Links {
+		if !f.LinkFaulty(lk) {
+			newLinks = append(newLinks, lk)
+		}
+	}
+	if len(newNodes) == 0 && len(newLinks) == 0 {
+		return nil
+	}
+
+	if _, err := rec.AddFaults(newNodes, newLinks); err != nil {
+		return fmt.Errorf("wormhole: reconfiguration at cycle %d: %w", cycle, err)
+	}
+	l.reconfigs++
+	clear(l.isLamb)
+	for _, c := range rec.Lambs() {
+		l.isLamb[m.Index(c)] = true
+	}
+	l.oracle = routing.NewOracle(f)
+
+	killed, lost := 0, 0
+	markLost := func(p *Message) {
+		p.lost = true
+		p.remaining = 0
+		*undelivered = *undelivered - 1
+		lost++
+		l.lostPackets++
+		if p.InjectAt >= e.cfg.WarmupCycles {
+			l.sampleLost++
+			l.lostSampleFlits += p.Length
+		}
+	}
+
+	// Active worms: kill any whose remaining path crosses the new faults or
+	// whose endpoints died. The tail position bounds the relevant hops — a
+	// fault behind the tail no longer matters to this worm.
+	w := 0
+	for _, p := range e.active {
+		tail := 0
+		if p.remaining == 0 {
+			for tail < len(p.Hops) && p.buf[tail] == 0 {
+				tail++
+			}
+		}
+		endpointDead := l.dead(f, p.Src) || l.dead(f, p.Dst)
+		if !endpointDead && !routeBroken(f, p, tail) {
+			e.active[w] = p
+			w++
+			continue
+		}
+		l.droppedFlits += e.net.removeWorm(p)
+		l.droppedWorms++
+		killed++
+		if v := m.Index(p.Src); e.lastReleased[v] == p {
+			e.lastReleased[v] = nil // the injection port is free again
+		}
+		if endpointDead {
+			markLost(p)
+			continue
+		}
+		// Retransmission: fresh route, back of the source queue; latency
+		// keeps accruing from the original generation time.
+		if err := l.reroute(e, p); err != nil {
+			return err
+		}
+		e.queueOf[m.Index(p.Src)] = append(e.queueOf[m.Index(p.Src)], p)
+		l.retransmits++
+	}
+	e.active = e.active[:w]
+
+	// Queued, unreleased packets: drop the dead-endpoint ones, reroute the
+	// broken ones in place.
+	for _, v := range e.nodes {
+		q := e.queueOf[v]
+		w := e.qhead[v]
+		for h := e.qhead[v]; h < len(q); h++ {
+			p := q[h]
+			if l.dead(f, p.Src) || l.dead(f, p.Dst) {
+				markLost(p)
+				continue
+			}
+			if routeBroken(f, p, 0) {
+				if err := l.reroute(e, p); err != nil {
+					return err
+				}
+				l.reroutedPending++
+			}
+			q[w] = p
+			w++
+		}
+		e.queueOf[v] = q[:w]
+	}
+
+	rate := l.windowedRate(l.ringLen)
+	l.events = append(l.events, EventRecovery{
+		Cycle:           cycle,
+		NewNodes:        len(newNodes),
+		NewLinks:        len(newLinks),
+		Killed:          killed,
+		Lost:            lost,
+		PreRate:         rate,
+		RecoveryLatency: -1,
+	})
+	if rate == 0 {
+		// Nothing was flowing before the event; recovery is trivially
+		// immediate.
+		l.events[len(l.events)-1].RecoveryLatency = 0
+	} else {
+		l.pending = append(l.pending, pendingRecovery{
+			idx:     len(l.events) - 1,
+			cycle:   cycle,
+			preRate: rate,
+		})
+	}
+	return nil
+}
+
+// windowedRate returns the mean ejected flits per cycle over the last k
+// recorded cycles (k <= window; 0 yields 0).
+func (l *liveState) windowedRate(k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k > l.ringLen {
+		k = l.ringLen
+	}
+	sum := 0
+	pos := l.ringPos
+	for i := 0; i < k; i++ {
+		pos--
+		if pos < 0 {
+			pos = l.window - 1
+		}
+		sum += l.ring[pos]
+	}
+	return float64(sum) / float64(k)
+}
+
+// endCycle records the cycle's accepted flits and resolves pending
+// recoveries whose windowed rate is back to the pre-event level.
+func (l *liveState) endCycle(e *Engine, cycle int) {
+	delta := e.net.ejectedTotal - l.prevEjected
+	l.prevEjected = e.net.ejectedTotal
+	l.ring[l.ringPos] = delta
+	l.ringPos++
+	if l.ringPos == l.window {
+		l.ringPos = 0
+	}
+	if l.ringLen < l.window {
+		l.ringLen++
+	}
+	if len(l.pending) == 0 {
+		return
+	}
+	w := 0
+	for _, p := range l.pending {
+		age := cycle - p.cycle + 1
+		if l.windowedRate(age) >= l.fraction*p.preRate {
+			l.events[p.idx].RecoveryLatency = cycle - p.cycle
+			continue
+		}
+		l.pending[w] = p
+		w++
+	}
+	l.pending = l.pending[:w]
+}

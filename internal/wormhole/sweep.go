@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"lambmesh/internal/core"
 	"lambmesh/internal/mesh"
 	"lambmesh/internal/par"
 	"lambmesh/internal/routing"
@@ -36,7 +37,20 @@ type SweepSpec struct {
 	Seed int64
 	// Workers bounds the trial-level worker pool; <= 0 means NumCPU.
 	Workers int
+
+	// Schedule injects the listed fault events into every cell's run
+	// (NewLiveEngine); MTBF additionally draws per-cell random single-node
+	// events with the given mean inter-arrival time in cycles (0 disables).
+	// Either makes the sweep a live sweep: each cell then carries its own
+	// core.Reconfigurer, the lamb set is the Reconfigurer's (the lambs
+	// argument of RunSweep is ignored), and results stay deterministic at
+	// any worker count. Live sweeps require a mesh (not a torus).
+	Schedule FaultSchedule
+	MTBF     float64
 }
+
+// Live reports whether the spec injects faults mid-run.
+func (s *SweepSpec) Live() bool { return !s.Schedule.Empty() || s.MTBF > 0 }
 
 // SweepPoint aggregates the trials of one rate point.
 type SweepPoint struct {
@@ -54,6 +68,15 @@ type SweepPoint struct {
 	Deadlocked        bool    // any trial tripped the watchdog
 
 	VCMeanUtil []float64 // mean over trials, per VC
+
+	// Live-fault recovery aggregates, totals over the rate point's trials
+	// (all zero for static sweeps).
+	Reconfigurations    int
+	DroppedWorms        int
+	Retransmits         int
+	LostPackets         int
+	MeanRecoveryLatency float64 // mean over recovered events, cycles
+	Unrecovered         int     // events the run ended before recovering from
 }
 
 // RunSweep runs Trials independent engine runs at every rate over the given
@@ -73,6 +96,15 @@ func RunSweep(f *mesh.FaultSet, orders routing.MultiOrder, lambs []mesh.Coord, s
 			return nil, fmt.Errorf("wormhole: injection rate %v outside (0, 1]", r)
 		}
 	}
+	if spec.MTBF < 0 {
+		return nil, fmt.Errorf("wormhole: negative MTBF %v", spec.MTBF)
+	}
+	live := spec.Live()
+	if live {
+		if err := spec.Schedule.Validate(f.Mesh()); err != nil {
+			return nil, err
+		}
+	}
 	o := routing.NewOracle(f)
 	cells := len(spec.Rates) * spec.Trials
 	results := make([]EngineResult, cells)
@@ -82,7 +114,13 @@ func RunSweep(f *mesh.FaultSet, orders routing.MultiOrder, lambs []mesh.Coord, s
 		// A fixed odd multiplier spreads the per-cell seeds; any injective
 		// map works, determinism is what matters.
 		rng := rand.New(rand.NewSource(spec.Seed + 1_000_003*int64(ri) + int64(ti)))
-		res, err := runCell(o, orders, lambs, spec, spec.Rates[ri], rng)
+		var res EngineResult
+		var err error
+		if live {
+			res, err = runLiveCell(f, orders, spec, spec.Rates[ri], rng)
+		} else {
+			res, err = runCell(o, orders, lambs, spec, spec.Rates[ri], rng)
+		}
 		if err != nil {
 			errs[ci] = fmt.Errorf("rate %v trial %d: %w", spec.Rates[ri], ti, err)
 			return
@@ -99,6 +137,7 @@ func RunSweep(f *mesh.FaultSet, orders routing.MultiOrder, lambs []mesh.Coord, s
 	for ri, rate := range spec.Rates {
 		p := SweepPoint{Rate: rate, Trials: spec.Trials, VCMeanUtil: make([]float64, spec.Net.VirtualChannels)}
 		var samples, delivered int
+		var recSum, recN int
 		for ti := 0; ti < spec.Trials; ti++ {
 			r := results[ri*spec.Trials+ti]
 			p.OfferedFlitRate += r.OfferedFlitRate
@@ -115,6 +154,21 @@ func RunSweep(f *mesh.FaultSet, orders routing.MultiOrder, lambs []mesh.Coord, s
 			for v := range p.VCMeanUtil {
 				p.VCMeanUtil[v] += r.VCMeanUtil[v]
 			}
+			p.Reconfigurations += r.Reconfigurations
+			p.DroppedWorms += r.DroppedWorms
+			p.Retransmits += r.Retransmits
+			p.LostPackets += r.LostPackets
+			for _, ev := range r.RecoveryEvents {
+				if ev.RecoveryLatency < 0 {
+					p.Unrecovered++
+				} else {
+					recSum += ev.RecoveryLatency
+					recN++
+				}
+			}
+		}
+		if recN > 0 {
+			p.MeanRecoveryLatency = float64(recSum) / float64(recN)
 		}
 		n := float64(spec.Trials)
 		p.OfferedFlitRate /= n
@@ -158,6 +212,61 @@ func runCell(o *routing.Oracle, orders routing.MultiOrder, lambs []mesh.Coord,
 		return EngineResult{}, err
 	}
 	return eng.Run(), nil
+}
+
+// runLiveCell is one (rate, trial) cell of a live sweep. Each cell owns a
+// core.Reconfigurer seeded with the sweep's initial fault set (so mid-run
+// events can evolve it independently of the other cells) and uses the
+// Reconfigurer's lamb set for traffic endpoints. The workload draw consumes
+// the cell rng exactly as runCell does, so a live sweep with an empty
+// schedule and zero MTBF would generate the identical workloads.
+func runLiveCell(f *mesh.FaultSet, orders routing.MultiOrder,
+	spec SweepSpec, rate float64, rng *rand.Rand) (EngineResult, error) {
+	rec, err := core.NewReconfigurer(f.Mesh(), orders, true)
+	if err != nil {
+		return EngineResult{}, err
+	}
+	rec.Workers = 1 // the sweep already parallelizes across cells
+	if f.Count() > 0 {
+		if _, err := rec.AddFaults(f.NodeFaults(), f.LinkFaults()); err != nil {
+			return EngineResult{}, err
+		}
+	}
+	o := routing.NewOracle(rec.Faults())
+	wl := WorkloadSpec{
+		Pattern:         spec.Pattern,
+		Rate:            rate,
+		PacketFlits:     spec.PacketFlits,
+		Cycles:          spec.Warmup + spec.Measure,
+		HotspotFraction: spec.HotspotFraction,
+	}
+	packets, err := GenerateWorkload(o, orders, rec.Lambs(), wl, spec.Net.VirtualChannels, rng)
+	if err != nil {
+		return EngineResult{}, err
+	}
+	sched := spec.Schedule
+	if spec.MTBF > 0 {
+		random := RandomSchedule(rec.Faults(), spec.MTBF, spec.Warmup+spec.Measure, rng)
+		merged := FaultSchedule{Events: append(append([]FaultEvent(nil), sched.Events...), random.Events...)}
+		sched = merged
+	}
+	nodes := survivorCount(rec.Faults(), rec.Lambs())
+	eng, err := NewLiveEngine(EngineConfig{
+		Net:           spec.Net,
+		WarmupCycles:  spec.Warmup,
+		MeasureCycles: spec.Measure,
+		DrainCycles:   spec.Drain,
+		Nodes:         nodes,
+	}, LiveConfig{
+		Schedule:  sched,
+		Reconf:    rec,
+		Orders:    orders,
+		RouteSeed: rng.Int63(),
+	}, packets)
+	if err != nil {
+		return EngineResult{}, err
+	}
+	return eng.RunLive()
 }
 
 // survivorCount avoids materializing the survivor list per cell.

@@ -63,6 +63,7 @@ type Message struct {
 	buf         []int // flits currently in each hop's buffer
 	headHop     int   // furthest hop the head has entered; -1 before injection
 	injectedAny bool
+	lost        bool // endpoint died mid-run; packet will never deliver
 
 	// hopChan/hopVC are the dense channel and VC ids of each hop,
 	// precomputed once in NewNetwork so the per-cycle loops index flat
@@ -104,6 +105,18 @@ type Network struct {
 	busy      []int // per channel id: cycles it carried a flit
 	vcBusy    []int // per VC id: cycles it carried a flit
 
+	// bindSeen/bindStamp back route validation in bindMessage: a (link,VC)
+	// pair is marked with the current bind stamp so reuse within one message
+	// is caught without clearing the array between messages.
+	bindSeen  []int
+	bindStamp int
+
+	// ejectedTotal counts every flit ever consumed at a destination. Unlike
+	// per-message ejected counters it is monotone — retransmissions reset a
+	// message's counter but not this one — so the live engine's throughput
+	// windows stay truthful across mid-run reconfigurations.
+	ejectedTotal int
+
 	// Result summary, valid after Run.
 	Cycles     int
 	Deadlocked bool
@@ -140,34 +153,79 @@ func NewNetwork(f *mesh.FaultSet, cfg Config, msgs []*Message) (*Network, error)
 	for i := range n.vcOwner {
 		n.vcOwner[i] = -1
 	}
-	seen := make([]int, numChans*cfg.VirtualChannels) // per-message stamps
-	for mi, msg := range msgs {
-		if msg.Length < 1 {
-			return nil, fmt.Errorf("wormhole: message %d has no flits", msg.ID)
+	n.bindSeen = make([]int, numChans*cfg.VirtualChannels)
+	for _, msg := range msgs {
+		if err := n.bindMessage(msg); err != nil {
+			return nil, err
 		}
-		msg.hopChan = make([]int, len(msg.Hops))
-		msg.hopVC = make([]int, len(msg.Hops))
-		for hi, h := range msg.Hops {
-			if h.VC < 0 || h.VC >= cfg.VirtualChannels {
-				return nil, fmt.Errorf("wormhole: message %d uses VC %d of %d", msg.ID, h.VC, cfg.VirtualChannels)
-			}
-			if !f.Usable(h.Link) {
-				return nil, fmt.Errorf("wormhole: message %d routed over unusable link %v", msg.ID, h.Link)
-			}
-			c := n.chanID(h.Link)
-			v := c*cfg.VirtualChannels + h.VC
-			if seen[v] == mi+1 {
-				return nil, fmt.Errorf("wormhole: message %d reuses link %v on VC %d (self-deadlock)", msg.ID, h.Link, h.VC)
-			}
-			seen[v] = mi + 1
-			msg.hopChan[hi] = c
-			msg.hopVC[hi] = v
-		}
-		msg.remaining = msg.Length
-		msg.headHop = -1
-		msg.buf = make([]int, len(msg.Hops))
 	}
 	return n, nil
+}
+
+// bindMessage validates msg's route against the current fault set and
+// (re)builds its dense per-hop channel ids and runtime state. NewNetwork
+// calls it once per message; the live engine calls it again when a rerouted
+// worm re-enters the network with fresh hops after a reconfiguration.
+func (n *Network) bindMessage(msg *Message) error {
+	if msg.Length < 1 {
+		return fmt.Errorf("wormhole: message %d has no flits", msg.ID)
+	}
+	n.bindStamp++
+	if cap(msg.hopChan) >= len(msg.Hops) {
+		msg.hopChan = msg.hopChan[:len(msg.Hops)]
+		msg.hopVC = msg.hopVC[:len(msg.Hops)]
+	} else {
+		msg.hopChan = make([]int, len(msg.Hops))
+		msg.hopVC = make([]int, len(msg.Hops))
+	}
+	for hi, h := range msg.Hops {
+		if h.VC < 0 || h.VC >= n.cfg.VirtualChannels {
+			return fmt.Errorf("wormhole: message %d uses VC %d of %d", msg.ID, h.VC, n.cfg.VirtualChannels)
+		}
+		if !n.faults.Usable(h.Link) {
+			return fmt.Errorf("wormhole: message %d routed over unusable link %v", msg.ID, h.Link)
+		}
+		c := n.chanID(h.Link)
+		v := c*n.cfg.VirtualChannels + h.VC
+		if n.bindSeen[v] == n.bindStamp {
+			return fmt.Errorf("wormhole: message %d reuses link %v on VC %d (self-deadlock)", msg.ID, h.Link, h.VC)
+		}
+		n.bindSeen[v] = n.bindStamp
+		msg.hopChan[hi] = c
+		msg.hopVC[hi] = v
+	}
+	msg.remaining = msg.Length
+	msg.ejected = 0
+	msg.headHop = -1
+	msg.injectedAny = false
+	if cap(msg.buf) >= len(msg.Hops) {
+		msg.buf = msg.buf[:len(msg.Hops)]
+		clear(msg.buf)
+	} else {
+		msg.buf = make([]int, len(msg.Hops))
+	}
+	return nil
+}
+
+// removeWorm pulls every in-flight flit of m out of the network and frees
+// the virtual channels it owns, returning the number of flits dropped. The
+// live engine calls this when a new fault kills a worm mid-flight; the
+// message's source-side state is untouched so the caller decides between
+// retransmission and loss.
+func (n *Network) removeWorm(m *Message) int {
+	dropped := 0
+	for i := range m.Hops {
+		if m.buf[i] > 0 {
+			n.vcFlits[m.hopVC[i]] -= m.buf[i]
+			dropped += m.buf[i]
+			m.buf[i] = 0
+		}
+		if v := m.hopVC[i]; n.vcOwner[v] == m.ID {
+			n.vcOwner[v] = -1
+		}
+	}
+	m.headHop = -1
+	return dropped
 }
 
 // chanID returns the dense id of a directed physical channel.
@@ -192,6 +250,7 @@ func (n *Network) Reset() {
 	clear(n.busy)
 	clear(n.vcBusy)
 	n.stamp = 0
+	n.ejectedTotal = 0
 	n.Cycles, n.Deadlocked, n.MovesTotal = 0, false, 0
 	for _, m := range n.msgs {
 		m.Delivered = false
@@ -202,6 +261,7 @@ func (n *Network) Reset() {
 		clear(m.buf)
 		m.headHop = -1
 		m.injectedAny = false
+		m.lost = false
 	}
 }
 
@@ -343,6 +403,7 @@ func (n *Network) stepMessage(m *Message, cycle int) int {
 		m.buf[last]--
 		n.vcFlits[m.hopVC[last]]--
 		m.ejected++
+		n.ejectedTotal++
 		moves++
 		n.maybeRelease(m, last)
 	}
