@@ -16,6 +16,7 @@ import (
 	"lambmesh/internal/analysis"
 	"lambmesh/internal/bitmat"
 	"lambmesh/internal/blockfault"
+	"lambmesh/internal/classtable"
 	"lambmesh/internal/core"
 	"lambmesh/internal/hardness"
 	"lambmesh/internal/mesh"
@@ -24,6 +25,7 @@ import (
 	"lambmesh/internal/routing"
 	"lambmesh/internal/sim"
 	"lambmesh/internal/vcover"
+	"lambmesh/internal/wire"
 	"lambmesh/internal/wormhole"
 )
 
@@ -361,6 +363,92 @@ func BenchmarkTrafficEngine(b *testing.B) {
 		if r.Deadlocked || r.Delivered != r.Packets {
 			b.Fatalf("unexpected outcome: %+v", r)
 		}
+	}
+}
+
+// Data-plane benchmarks: the class-table query path and the wire codec.
+
+// BenchmarkClassTableQuery: one route lookup through the compressed
+// (SES, DES) class table — classify src and dst (O(d log f) binary
+// searches), index the class-pair slot, and reconstruct the route shape —
+// with a reused Scratch. This is lambd's per-query hot path on the
+// class-table plane; the budget in scripts/benchcheck holds it at
+// 0 allocs/op (steady state: every via list is materialized by the first
+// query that touches its class pair).
+func BenchmarkClassTableQuery(b *testing.B) {
+	m := mesh.MustNew(32, 32)
+	rng := rand.New(rand.NewSource(10))
+	f := mesh.RandomNodeFaults(m, 31, rng)
+	orders := routing.UniformAscending(2, 2)
+	tab, err := classtable.New(f, orders, benchWorkers())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var good []mesh.Coord
+	m.ForEachNode(func(c mesh.Coord) {
+		if !f.NodeFaulty(c) {
+			good = append(good, c.Clone())
+		}
+	})
+	// Pre-touch every class pair so the loop measures the steady state,
+	// not the one-time lazy fills.
+	var q classtable.Scratch
+	for _, s := range good {
+		for _, d := range good {
+			tab.Lookup(s, d, &q)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := good[i%len(good)]
+		dst := good[(i*31+17)%len(good)]
+		tab.Lookup(src, dst, &q)
+	}
+}
+
+// BenchmarkWireRoundTrip: encode a route request, decode it, encode the
+// response, decode that — the full per-query codec cost on both ends of
+// the binary protocol, with every buffer reused. The budget in
+// scripts/benchcheck holds this at 0 allocs/op, which is what makes the
+// wire server's per-connection loop allocation-free.
+func BenchmarkWireRoundTrip(b *testing.B) {
+	reqSrc := []int{3, 28}
+	reqDst := []int{30, 1}
+	ans := wire.Answer{Code: wire.CodeFound, Hops: 54, Turns: 2, NVias: 1, Gen: 9, Via: []int{12, 7}}
+	var reqBuf, respBuf []byte
+	var src, dst []int
+	var got wire.Answer
+	roundTrip := func() {
+		var err error
+		if reqBuf, err = wire.AppendRouteReq(reqBuf[:0], reqSrc, reqDst); err != nil {
+			b.Fatal(err)
+		}
+		_, p, _, err := wire.DecodeFrame(reqBuf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if src, dst, err = wire.ParseRouteReq(p, src, dst); err != nil {
+			b.Fatal(err)
+		}
+		if respBuf, err = wire.AppendRouteResp(respBuf[:0], &ans, len(src)); err != nil {
+			b.Fatal(err)
+		}
+		if _, p, _, err = wire.DecodeFrame(respBuf); err != nil {
+			b.Fatal(err)
+		}
+		if err = wire.ParseRouteResp(p, &got); err != nil {
+			b.Fatal(err)
+		}
+		if got.Hops != ans.Hops {
+			b.Fatal("round trip corrupted the answer")
+		}
+	}
+	roundTrip() // warm the reused buffers so b.N=1 still measures steady state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		roundTrip()
 	}
 }
 

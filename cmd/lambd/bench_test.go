@@ -1,0 +1,119 @@
+package main
+
+import (
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"lambmesh/internal/wire"
+)
+
+// refusedURL returns an http base URL that refuses connections.
+func refusedURL(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return "http://" + addr
+}
+
+// TestClientExitNonZeroOnRefused is the satellite fix: every client
+// subcommand must exit non-zero when the daemon is unreachable.
+func TestClientExitNonZeroOnRefused(t *testing.T) {
+	url := refusedURL(t)
+	for _, args := range [][]string{
+		{"route", "-addr", url, "-src", "0,0", "-dst", "1,1"},
+		{"faults", "-addr", url, "-nodes", "(1,1)"},
+		{"config", "-addr", url},
+		{"metrics", "-addr", url},
+		{"bench", "-addr", url, "-duration", "100ms"},
+	} {
+		args = append(args, "-timeout", "2s")
+		_, errOut, code := runCmd(t, args...)
+		if code == 0 {
+			t.Errorf("%s against a refused port exited 0", args[0])
+		}
+		if errOut == "" {
+			t.Errorf("%s printed no error", args[0])
+		}
+	}
+}
+
+// TestMetricsNonOKStatus: a non-2xx /metrics page is an error, not a
+// silently copied body with exit 0.
+func TestMetricsNonOKStatus(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	t.Cleanup(ts.Close)
+	out, errOut, code := runCmd(t, "metrics", "-addr", ts.URL)
+	if code != 1 || !strings.Contains(errOut, "HTTP 500") {
+		t.Errorf("metrics on 500: exit %d, out %q, err %q", code, out, errOut)
+	}
+}
+
+// startWire serves the daemon's binary protocol on an ephemeral port.
+func startWire(t *testing.T, s interface{ WireBackend() wire.Backend }) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go wire.Serve(l, s.WireBackend())
+	return l.Addr().String()
+}
+
+func TestBenchSubcommand(t *testing.T) {
+	s, url := startDaemon(t, "8x8", "")
+	wireAddr := startWire(t, s)
+
+	for _, tc := range [][]string{
+		{"bench", "-addr", url, "-proto", "http", "-conns", "2", "-duration", "150ms"},
+		{"bench", "-addr", url, "-proto", "wire", "-wire-addr", wireAddr,
+			"-conns", "2", "-pipeline", "8", "-duration", "150ms"},
+		{"bench", "-addr", url, "-proto", "wire", "-wire-addr", wireAddr,
+			"-mix", "hotspot", "-duration", "100ms"},
+	} {
+		out, errOut, code := runCmd(t, tc...)
+		if code != 0 {
+			t.Fatalf("%v: exit %d: %s", tc, code, errOut)
+		}
+		if !strings.Contains(out, "qps") || !strings.Contains(out, "latency p50") {
+			t.Errorf("%v: output %q", tc, out)
+		}
+		// Closed-loop on a fault-free mesh: every response is a found route.
+		if strings.Contains(out, "(0 found") {
+			t.Errorf("%v: no routes found: %q", tc, out)
+		}
+	}
+}
+
+func TestBenchFlagValidation(t *testing.T) {
+	for _, tc := range [][]string{
+		{"bench", "-proto", "carrier-pigeon"},
+		{"bench", "-mix", "bursty"},
+		{"bench", "-conns", "0"},
+		{"bench", "-pipeline", "0"},
+	} {
+		if _, _, code := runCmd(t, tc...); code == 0 {
+			t.Errorf("%v exited 0", tc)
+		}
+	}
+}
+
+// TestDefaultWireAddr pins the host derivation.
+func TestDefaultWireAddr(t *testing.T) {
+	got, err := defaultWireAddr("http://example.com:9999")
+	if err != nil || got != "example.com:8081" {
+		t.Errorf("defaultWireAddr: %q, %v", got, err)
+	}
+	if _, err := defaultWireAddr(":::"); err == nil {
+		t.Error("garbage base URL accepted")
+	}
+}

@@ -5,11 +5,15 @@
 //
 // Usage:
 //
-//	lambd serve  -addr :8080 -mesh 16x16 -k 2 [-keep-lambs] [-load faults.txt] [-workers N]
+//	lambd serve  -addr :8080 -wire-addr :8081 -mesh 16x16 -k 2 [-keep-lambs] [-load faults.txt] [-workers N] [-route-source classtable|cache]
 //	lambd route  -addr http://host:8080 -src 0,0 -dst 5,5
 //	lambd faults -addr http://host:8080 [-nodes "(3,3);(4,4)"] [-links "(1,1),0,+1"] [-file faults.txt]
 //	lambd config -addr http://host:8080
 //	lambd metrics -addr http://host:8080
+//	lambd bench  -addr http://host:8080 [-proto wire|http] [-conns N] [-pipeline D] [-duration 10s] [-mix uniform|hotspot]
+//
+// Every client subcommand honors -timeout and exits non-zero when the
+// daemon is unreachable or answers an error status.
 //
 // Fault files use the lambmesh fault format (lambmesh.WriteFaults); the
 // "faults" subcommand's -file reports a file's faults to a running daemon,
@@ -22,13 +26,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"lambmesh"
 	"lambmesh/internal/server"
+	"lambmesh/internal/wire"
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -51,6 +58,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdConfig(rest, stdout)
 	case "metrics":
 		err = cmdMetrics(rest, stdout)
+	case "bench":
+		err = cmdBench(rest, stdout)
 	case "help", "-h", "--help":
 		usage(stdout)
 		return 0
@@ -75,6 +84,7 @@ subcommands:
   faults   report newly detected faults to a running daemon
   config   show a running daemon's live epoch
   metrics  dump a running daemon's /metrics page
+  bench    closed-loop load generator for the HTTP or binary route protocol
 
 run 'lambd <subcommand> -h' for flags.`)
 }
@@ -82,7 +92,7 @@ run 'lambd <subcommand> -h' for flags.`)
 // newServerFromFlags assembles the daemon from serve's flag values.
 // Factored out of cmdServe so tests can build (and close) a server
 // without binding a listener.
-func newServerFromFlags(meshSpec string, k int, keepLambs bool, loadPath string, workers int) (*server.Server, error) {
+func newServerFromFlags(meshSpec string, k int, keepLambs bool, loadPath string, workers int, routeSource string) (*server.Server, error) {
 	var initial *lambmesh.FaultSet
 	var m *lambmesh.Mesh
 	if loadPath != "" {
@@ -112,6 +122,7 @@ func newServerFromFlags(meshSpec string, k int, keepLambs bool, loadPath string,
 		KeepLambs:     keepLambs,
 		InitialFaults: initial,
 		Workers:       workers,
+		RouteSource:   routeSource,
 	})
 }
 
@@ -120,31 +131,49 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	var (
 		addr      = fs.String("addr", ":8080", "listen address")
+		wireAddr  = fs.String("wire-addr", ":8081", "binary route protocol listen address (empty disables)")
 		meshSpec  = fs.String("mesh", "16x16", "mesh widths, e.g. 16x16 or 32x32x32")
 		k         = fs.Int("k", 2, "routing rounds (virtual channels)")
 		keepLambs = fs.Bool("keep-lambs", false, "lamb sets only grow across generations")
 		load      = fs.String("load", "", "seed faults from a lambmesh fault file (overrides -mesh)")
 		workers   = fs.Int("workers", 0, "recompute worker pool size; 0 = all CPUs (shrinks the stale-epoch window)")
+		source    = fs.String("route-source", "", "route data plane: classtable, cache, or empty for auto")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	s, err := newServerFromFlags(*meshSpec, *k, *keepLambs, *load, *workers)
+	s, err := newServerFromFlags(*meshSpec, *k, *keepLambs, *load, *workers, *source)
 	if err != nil {
 		return err
 	}
 	defer s.Close()
 	s.PublishExpvar()
+	if *wireAddr != "" {
+		l, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			return err
+		}
+		defer l.Close()
+		go wire.Serve(l, s.WireBackend())
+		fmt.Fprintf(stdout, "lambd: binary route protocol on %s\n", *wireAddr)
+	}
 	e := s.Epoch()
-	fmt.Fprintf(stdout, "lambd: serving %v (k=%d, generation %d, %d faults, %d lambs) on %s\n",
-		s.Mesh(), *k, e.Generation, e.Faults.Count(), len(e.Lambs), *addr)
+	fmt.Fprintf(stdout, "lambd: serving %v (k=%d, generation %d, %d faults, %d lambs, %s plane) on %s\n",
+		s.Mesh(), *k, e.Generation, e.Faults.Count(), len(e.Lambs), s.RouteSource(), *addr)
 	return http.ListenAndServe(*addr, s.Handler())
+}
+
+// clientFlags registers the flags every client subcommand shares.
+func clientFlags(fs *flag.FlagSet) (addr *string, timeout *time.Duration) {
+	addr = fs.String("addr", "http://localhost:8080", "daemon base URL")
+	timeout = fs.Duration("timeout", 10*time.Second, "request timeout (0 = none)")
+	return addr, timeout
 }
 
 func cmdRoute(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("route", flag.ContinueOnError)
+	addr, timeout := clientFlags(fs)
 	var (
-		addr    = fs.String("addr", "http://localhost:8080", "daemon base URL")
 		src     = fs.String("src", "", "source coordinate, e.g. 0,0")
 		dst     = fs.String("dst", "", "destination coordinate")
 		rawJSON = fs.Bool("json", false, "print the raw JSON response")
@@ -156,7 +185,7 @@ func cmdRoute(args []string, stdout io.Writer) error {
 		return fmt.Errorf("route: -src and -dst are required")
 	}
 	var resp server.RouteResponse
-	raw, err := postJSON(*addr+"/v1/route", server.RouteRequest{Src: *src, Dst: *dst}, &resp)
+	raw, err := postJSON(httpClient(*timeout), *addr+"/v1/route", server.RouteRequest{Src: *src, Dst: *dst}, &resp)
 	if err != nil {
 		return err
 	}
@@ -180,8 +209,8 @@ func cmdRoute(args []string, stdout io.Writer) error {
 
 func cmdFaults(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("faults", flag.ContinueOnError)
+	addr, timeout := clientFlags(fs)
 	var (
-		addr  = fs.String("addr", "http://localhost:8080", "daemon base URL")
 		nodes = fs.String("nodes", "", "semicolon-separated node faults, e.g. \"(3,3);(4,4)\"")
 		links = fs.String("links", "", "semicolon-separated link faults as \"(x,y),dim,dir\"")
 		file  = fs.String("file", "", "report every fault in a lambmesh fault file")
@@ -197,7 +226,7 @@ func cmdFaults(args []string, stdout io.Writer) error {
 		return fmt.Errorf("faults: nothing to report (use -nodes, -links, or -file)")
 	}
 	var ack server.FaultAck
-	if _, err := postJSON(*addr+"/v1/faults", report, &ack); err != nil {
+	if _, err := postJSON(httpClient(*timeout), *addr+"/v1/faults", report, &ack); err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "accepted %d faults at generation %d; poll 'lambd config' for the swap\n",
@@ -289,15 +318,13 @@ func splitSpecs(s string) []string {
 
 func cmdConfig(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("config", flag.ContinueOnError)
-	var (
-		addr    = fs.String("addr", "http://localhost:8080", "daemon base URL")
-		rawJSON = fs.Bool("json", false, "print the raw JSON response")
-	)
+	addr, timeout := clientFlags(fs)
+	rawJSON := fs.Bool("json", false, "print the raw JSON response")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	var cfg server.ConfigResponse
-	raw, err := getJSON(*addr+"/v1/config", &cfg)
+	raw, err := getJSON(httpClient(*timeout), *addr+"/v1/config", &cfg)
 	if err != nil {
 		return err
 	}
@@ -309,8 +336,8 @@ func cmdConfig(args []string, stdout io.Writer) error {
 	if cfg.Torus {
 		kind = "torus"
 	}
-	fmt.Fprintf(stdout, "%s %s, orders %s, generation %d (epoch age %.1fs)\n",
-		kind, cfg.Mesh, cfg.Orders, cfg.Generation, cfg.EpochAgeSeconds)
+	fmt.Fprintf(stdout, "%s %s, orders %s, %s plane, generation %d (epoch age %.1fs)\n",
+		kind, cfg.Mesh, cfg.Orders, cfg.RouteSource, cfg.Generation, cfg.EpochAgeSeconds)
 	fmt.Fprintf(stdout, "faults: %d nodes, %d links; lambs: %d; survivors: %d\n",
 		len(cfg.NodeFaults), len(cfg.LinkFaults), len(cfg.Lambs), cfg.Survivors)
 	if len(cfg.Lambs) > 0 {
@@ -324,15 +351,19 @@ func cmdConfig(args []string, stdout io.Writer) error {
 
 func cmdMetrics(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("metrics", flag.ContinueOnError)
-	addr := fs.String("addr", "http://localhost:8080", "daemon base URL")
+	addr, timeout := clientFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	resp, err := http.Get(*addr + "/metrics")
+	resp, err := httpClient(*timeout).Get(*addr + "/metrics")
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		raw, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+	}
 	_, err = io.Copy(stdout, resp.Body)
 	return err
 }
@@ -350,22 +381,28 @@ func parseWidths(s string) ([]int, error) {
 	return widths, nil
 }
 
+// httpClient builds the client every subcommand queries through; a zero
+// timeout means no limit.
+func httpClient(timeout time.Duration) *http.Client {
+	return &http.Client{Timeout: timeout}
+}
+
 // postJSON posts v and decodes the response into out, returning the raw
 // body. Non-2xx responses surface the server's JSON error message.
-func postJSON(url string, v, out any) ([]byte, error) {
+func postJSON(c *http.Client, url string, v, out any) ([]byte, error) {
 	body, err := json.Marshal(v)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	resp, err := c.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	return handleResponse(resp, out)
 }
 
-func getJSON(url string, out any) ([]byte, error) {
-	resp, err := http.Get(url)
+func getJSON(c *http.Client, url string, out any) ([]byte, error) {
+	resp, err := c.Get(url)
 	if err != nil {
 		return nil, err
 	}

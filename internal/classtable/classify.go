@@ -1,0 +1,162 @@
+package classtable
+
+import (
+	"fmt"
+	"sort"
+
+	"lambmesh/internal/mesh"
+	"lambmesh/internal/partition"
+	"lambmesh/internal/rect"
+	"lambmesh/internal/routing"
+)
+
+// classifier answers "which SES (or DES) does this node belong to?" in
+// O(d log f) time. It exploits the shape guarantee of Find-SES-Partition
+// (Section 6.1): in working coordinates w[t] = c[order[t]], every set is
+// (*,...,*,[l,r],c,...,c) — so classification is a walk down a d-level
+// search tree keyed on the working dimensions from last to first. At each
+// level the node's coordinate value either falls in a clean run interval
+// (the set is decided immediately: all lower dimensions are unconstrained)
+// or equals a dirty slice constant (descend into that slice's subtree) or
+// hits neither (the node is faulty — the partition covers exactly the good
+// nodes). Each level has at most 2f+1 entries, so a lookup costs
+// O(d log f), independent of the mesh size.
+type classifier struct {
+	m     *mesh.Mesh
+	order routing.Order // working order: depth t dispatches on order[d-1-t]
+	root  clsNode
+}
+
+// clsNode is one level of the search tree: disjoint value intervals of the
+// dispatch dimension, sorted by Lo.
+type clsNode struct {
+	entries []clsEntry
+}
+
+// clsEntry maps an inclusive value interval of the dispatch dimension to
+// either a leaf set (set >= 0; every lower working dimension is the full
+// width, so membership is decided) or a child subtree (set < 0; the
+// interval is a single dirty slice value).
+type clsEntry struct {
+	lo, hi int
+	set    int32
+	child  *clsNode
+}
+
+// newClassifier indexes the sets of a partition whose working order is
+// workOrder (the 1-round ordering for SESs, its reverse for DESs — the same
+// permutation partition.find computes in).
+func newClassifier(m *mesh.Mesh, sets []partition.Set, workOrder routing.Order) (*classifier, error) {
+	c := &classifier{m: m, order: workOrder}
+	for idx, s := range sets {
+		if err := c.insert(&c.root, 0, s.Rect, int32(idx)); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.finish(&c.root, 0); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// insert places set idx (rect in original coordinates) at depth, descending
+// through its trailing working-dimension constants.
+func (c *classifier) insert(n *clsNode, depth int, r rect.Rect, idx int32) error {
+	d := c.m.Dims()
+	dim := c.order[d-1-depth]
+	lo, hi := r[dim].Lo, r[dim].Hi
+	// A set is a leaf at this level iff every lower working dimension is
+	// unconstrained (full width) — the canonical (*,...,*,[l,r],c,...,c)
+	// split point.
+	leaf := true
+	for t := 0; t < d-1-depth; t++ {
+		ldim := c.order[t]
+		if r[ldim].Lo != 0 || r[ldim].Hi != c.m.Width(ldim)-1 {
+			leaf = false
+			break
+		}
+	}
+	if leaf {
+		n.entries = append(n.entries, clsEntry{lo: lo, hi: hi, set: idx})
+		return nil
+	}
+	if lo != hi {
+		return fmt.Errorf("classtable: set %d has interval [%d,%d] above constrained dims (not partition-shaped)", idx, lo, hi)
+	}
+	for i := range n.entries {
+		e := &n.entries[i]
+		if e.child != nil && e.lo == lo {
+			return c.insert(e.child, depth+1, r, idx)
+		}
+	}
+	child := &clsNode{}
+	n.entries = append(n.entries, clsEntry{lo: lo, hi: lo, set: -1, child: child})
+	return c.insert(child, depth+1, r, idx)
+}
+
+// finish sorts every level and verifies the intervals are disjoint (a
+// guarantee the partition provides; checked here so a malformed input fails
+// loudly at build time rather than misclassifying at query time).
+func (c *classifier) finish(n *clsNode, depth int) error {
+	sort.Slice(n.entries, func(i, j int) bool { return n.entries[i].lo < n.entries[j].lo })
+	for i := 1; i < len(n.entries); i++ {
+		if n.entries[i].lo <= n.entries[i-1].hi {
+			return fmt.Errorf("classtable: overlapping intervals [%d,%d] and [%d,%d] at depth %d",
+				n.entries[i-1].lo, n.entries[i-1].hi, n.entries[i].lo, n.entries[i].hi, depth)
+		}
+	}
+	for i := range n.entries {
+		if ch := n.entries[i].child; ch != nil {
+			if err := c.finish(ch, depth+1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// classify returns the index of the set containing co, or -1 if co belongs
+// to no set (i.e. co is faulty). Allocation-free.
+func (c *classifier) classify(co mesh.Coord) int {
+	n := &c.root
+	d := len(c.order)
+	for depth := 0; depth < d; depth++ {
+		v := co[c.order[d-1-depth]]
+		es := n.entries
+		// Binary search for the entry with lo <= v <= hi.
+		i, j := 0, len(es)
+		for i < j {
+			h := (i + j) / 2
+			if es[h].hi < v {
+				i = h + 1
+			} else {
+				j = h
+			}
+		}
+		if i == len(es) || es[i].lo > v {
+			return -1
+		}
+		e := &es[i]
+		if e.set >= 0 {
+			return int(e.set)
+		}
+		n = e.child
+	}
+	return -1
+}
+
+// memBytes estimates the classifier's memory footprint.
+func (c *classifier) memBytes() int {
+	return c.nodeBytes(&c.root)
+}
+
+func (c *classifier) nodeBytes(n *clsNode) int {
+	const entrySize = 32 // two ints, an int32 (padded), a pointer
+	b := len(n.entries) * entrySize
+	for i := range n.entries {
+		if ch := n.entries[i].child; ch != nil {
+			b += 24 + c.nodeBytes(ch) // node header + subtree
+		}
+	}
+	return b
+}

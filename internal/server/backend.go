@@ -1,0 +1,86 @@
+package server
+
+import (
+	"lambmesh/internal/classtable"
+	"lambmesh/internal/mesh"
+	"lambmesh/internal/wire"
+)
+
+// WireBackend adapts the server to the binary route protocol. The returned
+// backend is safe for concurrent use; wire.Serve calls it once per
+// in-flight request.
+func (s *Server) WireBackend() wire.Backend { return wireBackend{s} }
+
+type wireBackend struct{ s *Server }
+
+func (b wireBackend) Dims() int { return b.s.mesh.Dims() }
+
+func (b wireBackend) Query(src, dst []int, ans *wire.Answer) {
+	b.s.routeCompact(mesh.Coord(src), mesh.Coord(dst), ans)
+}
+
+// routeCompact is Route's allocation-free twin for the wire protocol: the
+// same answers and the same metrics, but written into the caller's reused
+// Answer instead of materializing a Route (no path, no reason strings).
+// With the class table live this performs zero heap allocations.
+func (s *Server) routeCompact(src, dst mesh.Coord, ans *wire.Answer) {
+	e := s.Epoch()
+	s.metrics.Queries.Add(1)
+	via := ans.Via[:0]
+	*ans = wire.Answer{Gen: e.Generation, Via: via}
+	m := e.Faults.Mesh()
+	if !m.Contains(src) || e.Faults.NodeFaulty(src) || e.IsLamb(src) {
+		ans.Code = wire.CodeBadSrc
+		s.metrics.RoutesRejected.Add(1)
+		return
+	}
+	if !m.Contains(dst) || e.Faults.NodeFaulty(dst) || e.IsLamb(dst) {
+		ans.Code = wire.CodeBadDst
+		s.metrics.RoutesRejected.Add(1)
+		return
+	}
+	if e.Table != nil {
+		q := s.scratch.Get().(*classtable.Scratch)
+		res := e.Table.Lookup(src, dst, q)
+		if !res.Found {
+			// Faulty endpoints were rejected above, so the only remaining
+			// miss is an unreachable pair.
+			s.scratch.Put(q)
+			ans.Code = wire.CodeNoRoute
+			s.metrics.RoutesRejected.Add(1)
+			return
+		}
+		ans.Code = wire.CodeFound
+		ans.Hops, ans.Turns, ans.NVias = res.Hops, res.Turns, res.NVias
+		ans.Via = append(ans.Via, res.Via...) // copy out before releasing the scratch
+		s.scratch.Put(q)
+		s.metrics.ObserveRoute(ans.Hops)
+		return
+	}
+	// Legacy data plane: the per-pair sharded cache.
+	k := pairKey{m.Index(src), m.Index(dst)}
+	ce, cached := e.cache.get(k)
+	if cached {
+		s.metrics.CacheHits.Add(1)
+	} else {
+		r, reason := e.route(s.orders, src, dst)
+		ce = &cacheEntry{route: r, reason: reason}
+		e.cache.put(k, ce)
+	}
+	if ce.route == nil {
+		ans.Code = wire.CodeNoRoute
+		if !cached {
+			s.metrics.RoutesRejected.Add(1)
+		}
+		return
+	}
+	ans.Code = wire.CodeFound
+	ans.Hops, ans.Turns = ce.route.Hops(), ce.route.Turns()
+	ans.NVias = len(ce.route.Vias)
+	for _, v := range ce.route.Vias {
+		ans.Via = append(ans.Via, v...)
+	}
+	if !cached {
+		s.metrics.ObserveRoute(ans.Hops)
+	}
+}

@@ -1,0 +1,197 @@
+package server
+
+import (
+	"math/rand"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+
+	"lambmesh/internal/mesh"
+	"lambmesh/internal/routing"
+	"lambmesh/internal/wire"
+)
+
+// TestRouteSourceResolution pins the auto/flag contract.
+func TestRouteSourceResolution(t *testing.T) {
+	m := mesh.MustNew(6, 6)
+	orders := routing.UniformAscending(2, 2)
+	s := newTestServer(t, 6, 6)
+	if s.RouteSource() != RouteSourceClassTable {
+		t.Errorf("auto on a 2D mesh resolved to %q", s.RouteSource())
+	}
+	if s.Epoch().Table == nil {
+		t.Error("classtable server has no table on the live epoch")
+	}
+	s2 := newSourceServer(t, RouteSourceCache, 6, 6)
+	if s2.RouteSource() != RouteSourceCache || s2.Epoch().Table != nil {
+		t.Errorf("cache server: source %q, table %v", s2.RouteSource(), s2.Epoch().Table)
+	}
+	if _, err := New(Config{Mesh: m, Orders: orders, RouteSource: "bogus"}); err == nil {
+		t.Error("bogus route source accepted")
+	}
+	// k=3 is outside the classtable envelope: auto falls back, explicit errors.
+	o3 := routing.UniformAscending(2, 3)
+	s3, err := New(Config{Mesh: m, Orders: o3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if s3.RouteSource() != RouteSourceCache {
+		t.Errorf("auto with k=3 resolved to %q", s3.RouteSource())
+	}
+	if _, err := New(Config{Mesh: m, Orders: o3, RouteSource: RouteSourceClassTable}); err == nil {
+		t.Error("forced classtable with k=3 accepted")
+	}
+}
+
+// TestDataPlanesAgree runs the same query stream against a classtable
+// server and a cache server with identical fault history and requires
+// byte-identical answers (modulo the Cached bit) — the A/B guarantee the
+// RouteSource flag exists to demonstrate.
+func TestDataPlanesAgree(t *testing.T) {
+	m := mesh.MustNew(9, 9)
+	rng := rand.New(rand.NewSource(5))
+	faults := mesh.RandomNodeFaults(m, 6, rng)
+	mesh.RandomLinkFaults(faults, 3, rng)
+
+	build := func(source string) *Server {
+		mm := mesh.MustNew(9, 9)
+		s, err := New(Config{
+			Mesh:          mm,
+			Orders:        routing.UniformAscending(2, 2),
+			InitialFaults: faults,
+			RouteSource:   source,
+			Workers:       1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Close)
+		return s
+	}
+	ct, cc := build(RouteSourceClassTable), build(RouteSourceCache)
+
+	qrng := rand.New(rand.NewSource(17))
+	for i := 0; i < 4000; i++ {
+		src := mesh.C(qrng.Intn(9), qrng.Intn(9))
+		dst := mesh.C(qrng.Intn(9), qrng.Intn(9))
+		a, b := ct.Route(src, dst), cc.Route(src, dst)
+		b.Cached = a.Cached
+		if a.Found != b.Found || a.Reason != b.Reason || a.Generation != b.Generation {
+			t.Fatalf("%v->%v: answers differ:\nclasstable %+v\ncache      %+v", src, dst, a, b)
+		}
+		if a.Found && !reflect.DeepEqual(a.Route, b.Route) {
+			t.Fatalf("%v->%v: routes differ:\nclasstable %+v\ncache      %+v", src, dst, a.Route, b.Route)
+		}
+	}
+}
+
+// TestWireBackendCompact drives routeCompact through both data planes and
+// checks it against the full Route answers.
+func TestWireBackendCompact(t *testing.T) {
+	for _, source := range []string{RouteSourceClassTable, RouteSourceCache} {
+		t.Run(source, func(t *testing.T) {
+			s := newSourceServer(t, source, 8, 8)
+			if err := s.ReportFaults([]mesh.Coord{mesh.C(3, 3), mesh.C(4, 5)}, nil); err != nil {
+				t.Fatal(err)
+			}
+			waitGeneration(t, s, 1)
+			b := s.WireBackend()
+			if b.Dims() != 2 {
+				t.Fatalf("dims = %d", b.Dims())
+			}
+			var ans wire.Answer
+			rng := rand.New(rand.NewSource(2))
+			for i := 0; i < 1500; i++ {
+				src := mesh.C(rng.Intn(9)-1, rng.Intn(8)) // sometimes out of mesh
+				dst := mesh.C(rng.Intn(8), rng.Intn(8))
+				b.Query(src, dst, &ans)
+				full := s.Route(src, dst)
+				if full.Found != (ans.Code == wire.CodeFound) {
+					t.Fatalf("%v->%v: compact code %d, full %+v", src, dst, ans.Code, full)
+				}
+				if !full.Found {
+					switch {
+					case strings.Contains(full.Reason, "src") && ans.Code != wire.CodeBadSrc:
+						t.Fatalf("%v->%v: code %d for reason %q", src, dst, ans.Code, full.Reason)
+					case strings.Contains(full.Reason, "no fault-free") && ans.Code != wire.CodeNoRoute:
+						t.Fatalf("%v->%v: code %d for reason %q", src, dst, ans.Code, full.Reason)
+					}
+					continue
+				}
+				if ans.Hops != full.Route.Hops() || ans.Turns != full.Route.Turns() {
+					t.Fatalf("%v->%v: compact %d/%d, full %d/%d",
+						src, dst, ans.Hops, ans.Turns, full.Route.Hops(), full.Route.Turns())
+				}
+				if ans.NVias != len(full.Route.Vias) || len(ans.Via) != ans.NVias*2 {
+					t.Fatalf("%v->%v: vias %d/%v vs %v", src, dst, ans.NVias, ans.Via, full.Route.Vias)
+				}
+				for vi, v := range full.Route.Vias {
+					if ans.Via[vi*2] != v[0] || ans.Via[vi*2+1] != v[1] {
+						t.Fatalf("%v->%v: via %d = %v, want %v", src, dst, vi, ans.Via, v)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWireEndToEnd serves the binary protocol on a real listener and
+// queries it with the wire client, pipelined.
+func TestWireEndToEnd(t *testing.T) {
+	s := newTestServer(t, 8, 8)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go wire.Serve(l, s.WireBackend())
+
+	c, err := wire.Dial(l.Addr().String(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var ans wire.Answer
+	if err := c.Route([]int{0, 0}, []int{7, 7}, &ans); err != nil {
+		t.Fatal(err)
+	}
+	if ans.Code != wire.CodeFound || ans.Hops != 14 || ans.NVias != 1 {
+		t.Fatalf("corner route: %+v", ans)
+	}
+
+	// Pipelined batch: all answers arrive, in order.
+	const depth = 64
+	for i := 0; i < depth; i++ {
+		if err := c.Send([]int{i % 8, 0}, []int{7, i % 8}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < depth; i++ {
+		if err := c.Recv(&ans); err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		want := (7 - i%8) + i%8
+		if ans.Code != wire.CodeFound || ans.Hops != want {
+			t.Fatalf("pipelined %d: %+v, want %d hops", i, ans, want)
+		}
+	}
+
+	// Out-of-mesh coordinates answer codes, not errors.
+	if err := c.Route([]int{200, 200}, []int{0, 0}, &ans); err != nil {
+		t.Fatal(err)
+	}
+	if ans.Code != wire.CodeBadSrc {
+		t.Fatalf("out-of-mesh: %+v", ans)
+	}
+
+	// A malformed frame (wrong dimensionality) draws an error and closes.
+	if err := c.Route([]int{1, 2, 3}, []int{0, 0, 0}, &ans); err == nil {
+		t.Fatal("3D request on a 2D mesh succeeded")
+	}
+}

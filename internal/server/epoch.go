@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"lambmesh/internal/classtable"
 	"lambmesh/internal/mesh"
 	"lambmesh/internal/routing"
 )
@@ -33,14 +34,22 @@ type Epoch struct {
 	Generation uint64
 	Created    time.Time
 
+	// Table is the class-based O(1) data plane for this epoch's fault set,
+	// or nil when the server runs in "cache" mode (or the configuration is
+	// outside classtable's supported envelope). When non-nil it is the
+	// route source and the cache stays empty.
+	Table *classtable.Table
+
 	lambIdx map[int64]struct{}
 	cache   *routeCache
 }
 
 // newEpoch freezes a configuration: it clones the fault set (the caller's
 // copy keeps evolving inside the Reconfigurer), indexes it, and attaches a
-// fresh empty route cache.
-func newEpoch(f *mesh.FaultSet, lambs []mesh.Coord, gen uint64, now time.Time) *Epoch {
+// fresh empty route cache. With useTable, the class table is built from the
+// snapshot — that cost is paid here, at publish time, so the query path
+// never sees a cold table.
+func newEpoch(f *mesh.FaultSet, lambs []mesh.Coord, gen uint64, now time.Time, orders routing.MultiOrder, workers int, useTable bool) *Epoch {
 	snap := f.Clone()
 	e := &Epoch{
 		Faults:     snap,
@@ -50,6 +59,14 @@ func newEpoch(f *mesh.FaultSet, lambs []mesh.Coord, gen uint64, now time.Time) *
 		Created:    now,
 		lambIdx:    make(map[int64]struct{}, len(lambs)),
 		cache:      newRouteCache(),
+	}
+	if useTable {
+		// Support was checked at server construction; an error here would
+		// mean a malformed partition, and falling back to the per-pair
+		// cache path keeps the epoch serving.
+		if tab, err := classtable.New(snap, orders, workers); err == nil {
+			e.Table = tab
+		}
 	}
 	for _, c := range lambs {
 		e.lambIdx[snap.Mesh().Index(c)] = struct{}{}
@@ -94,6 +111,23 @@ func (e *Epoch) route(orders routing.MultiOrder, src, dst mesh.Coord) (r *routin
 	}
 	r, ok := routing.ChooseRouteK(e.Oracle, orders, src, dst, nil)
 	if !ok {
+		return nil, fmt.Sprintf("no fault-free %d-round route from %v to %v", orders.Rounds(), src, dst)
+	}
+	return r, ""
+}
+
+// tableRoute answers a query from the class table. Answers — including the
+// reason strings — are byte-identical to route; only the cost differs
+// (O(d log f) classify + O(cells) via selection versus an O(N) scan).
+func (e *Epoch) tableRoute(orders routing.MultiOrder, src, dst mesh.Coord, q *classtable.Scratch) (r *routing.Route, reason string) {
+	if msg := e.endpointErr("src", src); msg != "" {
+		return nil, msg
+	}
+	if msg := e.endpointErr("dst", dst); msg != "" {
+		return nil, msg
+	}
+	r, code := e.Table.RouteOf(src, dst, q)
+	if code != classtable.CodeFound {
 		return nil, fmt.Sprintf("no fault-free %d-round route from %v to %v", orders.Rounds(), src, dst)
 	}
 	return r, ""

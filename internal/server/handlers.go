@@ -64,6 +64,7 @@ type ConfigResponse struct {
 	Mesh            string       `json:"mesh"`
 	Torus           bool         `json:"torus"`
 	Orders          string       `json:"orders"`
+	RouteSource     string       `json:"route_source"`
 	Generation      uint64       `json:"generation"`
 	EpochAgeSeconds float64      `json:"epoch_age_seconds"`
 	NodeFaults      []string     `json:"node_faults"`
@@ -177,6 +178,7 @@ func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
 		Mesh:            meshWire(m),
 		Torus:           m.Torus(),
 		Orders:          s.orders.String(),
+		RouteSource:     s.routeSource,
 		Generation:      e.Generation,
 		EpochAgeSeconds: e.Age(time.Now()).Seconds(),
 		NodeFaults:      coordsWire(e.Faults.SortedNodeFaults()),
@@ -197,6 +199,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	e := s.Epoch()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WriteTo(w, e.Generation, e.Age(time.Now()), e.cache.len())
+	fmt.Fprintf(w, "# HELP lambd_route_source live route data plane\n# TYPE lambd_route_source gauge\n")
+	fmt.Fprintf(w, "lambd_route_source{source=%q} 1\n", s.routeSource)
+	if e.Table != nil {
+		st := e.Table.Stats()
+		fmt.Fprintf(w, "# HELP lambd_classtable_classes (SES, DES) classes in the live epoch's table\n# TYPE lambd_classtable_classes gauge\n")
+		fmt.Fprintf(w, "lambd_classtable_classes{kind=\"ses\"} %d\n", st.SESs)
+		fmt.Fprintf(w, "lambd_classtable_classes{kind=\"des\"} %d\n", st.DESs)
+		fmt.Fprintf(w, "# HELP lambd_classtable_cells via cells in the live epoch's table\n# TYPE lambd_classtable_cells gauge\n")
+		fmt.Fprintf(w, "lambd_classtable_cells %d\n", st.Cells)
+		fmt.Fprintf(w, "# HELP lambd_classtable_bytes approximate table size\n# TYPE lambd_classtable_bytes gauge\n")
+		fmt.Fprintf(w, "lambd_classtable_bytes %d\n", st.Bytes)
+	}
 }
 
 func (s *Server) badRequest(w http.ResponseWriter, err error) {

@@ -42,7 +42,10 @@ func decode[T any](t *testing.T, resp *http.Response) T {
 }
 
 func TestHTTPRoute(t *testing.T) {
-	_, ts := startHTTP(t, 8, 8)
+	// Pinned to the cache plane: the final assertion is about Cached.
+	s := newSourceServer(t, RouteSourceCache, 8, 8)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
 	resp := postJSON(t, ts.URL+"/v1/route", RouteRequest{Src: "(0,0)", Dst: "(7,7)"})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)

@@ -6,9 +6,18 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lambmesh/internal/classtable"
 	"lambmesh/internal/core"
 	"lambmesh/internal/mesh"
 	"lambmesh/internal/routing"
+)
+
+// Route sources a Config may name. Auto resolves to the class table when
+// the configuration supports it and to the legacy cache otherwise.
+const (
+	RouteSourceAuto       = ""
+	RouteSourceClassTable = "classtable"
+	RouteSourceCache      = "cache"
 )
 
 // Config parameterizes a Server.
@@ -26,6 +35,13 @@ type Config struct {
 	// directly shrinks the window during which queries are served from the
 	// stale (pre-fault) epoch. The lamb set is identical for any value.
 	Workers int
+	// RouteSource selects the query data plane: RouteSourceClassTable
+	// serves from the per-epoch compressed (SES, DES) class table,
+	// RouteSourceCache from the legacy per-pair sharded cache, and
+	// RouteSourceAuto (the default) picks the class table whenever the
+	// configuration supports it. Answers are byte-identical either way —
+	// the flag exists for A/B benchmarking and as an escape hatch.
+	RouteSource string
 }
 
 // Server is the route control plane. The live configuration is an *Epoch
@@ -38,9 +54,15 @@ type Config struct {
 //   - pending fault reports: guarded by mu; handlers append, the worker
 //     drains.
 type Server struct {
-	orders  routing.MultiOrder
-	mesh    *mesh.Mesh
-	metrics Metrics
+	orders      routing.MultiOrder
+	mesh        *mesh.Mesh
+	metrics     Metrics
+	routeSource string // resolved: RouteSourceClassTable or RouteSourceCache
+	workers     int
+
+	// scratch pools per-query classtable buffers so the table path stays
+	// allocation-free on the compact (wire) route.
+	scratch sync.Pool
 
 	epoch atomic.Pointer[Epoch]
 
@@ -73,16 +95,35 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	recon.Workers = cfg.Workers
-	s := &Server{
-		orders: cfg.Orders,
-		mesh:   cfg.Mesh,
-		recon:  recon,
-		kick:   make(chan struct{}, 1),
-		quit:   make(chan struct{}),
-		done:   make(chan struct{}),
+	source := cfg.RouteSource
+	switch source {
+	case RouteSourceAuto:
+		if classtable.Supported(cfg.Mesh, cfg.Orders) {
+			source = RouteSourceClassTable
+		} else {
+			source = RouteSourceCache
+		}
+	case RouteSourceClassTable:
+		if !classtable.Supported(cfg.Mesh, cfg.Orders) {
+			return nil, fmt.Errorf("server: route source %q: %w", source, classtable.ErrUnsupported)
+		}
+	case RouteSourceCache:
+	default:
+		return nil, fmt.Errorf("server: unknown route source %q", source)
 	}
+	s := &Server{
+		orders:      cfg.Orders,
+		mesh:        cfg.Mesh,
+		routeSource: source,
+		workers:     cfg.Workers,
+		recon:       recon,
+		kick:        make(chan struct{}, 1),
+		quit:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+	s.scratch.New = func() any { return new(classtable.Scratch) }
 	// Generation 0: the pristine mesh, no faults, no lambs.
-	s.epoch.Store(newEpoch(mesh.NewFaultSet(cfg.Mesh), nil, 0, time.Now()))
+	s.epoch.Store(s.newEpoch(mesh.NewFaultSet(cfg.Mesh), nil, 0, time.Now()))
 	if cfg.InitialFaults != nil && cfg.InitialFaults.Count() > 0 {
 		nodes := append([]mesh.Coord(nil), cfg.InitialFaults.NodeFaults()...)
 		links := append([]mesh.Link(nil), cfg.InitialFaults.LinkFaults()...)
@@ -101,10 +142,20 @@ func (s *Server) Close() {
 	<-s.done
 }
 
+// newEpoch freezes a configuration under the server's resolved route
+// source and worker budget.
+func (s *Server) newEpoch(f *mesh.FaultSet, lambs []mesh.Coord, gen uint64, now time.Time) *Epoch {
+	return newEpoch(f, lambs, gen, now, s.orders, s.workers, s.routeSource == RouteSourceClassTable)
+}
+
 // Epoch returns the live configuration. The result is immutable; callers
 // may hold it as long as they like (superseded epochs simply become
 // garbage once the last reader drops them).
 func (s *Server) Epoch() *Epoch { return s.epoch.Load() }
+
+// RouteSource returns the resolved data plane: RouteSourceClassTable or
+// RouteSourceCache.
+func (s *Server) RouteSource() string { return s.routeSource }
 
 // Metrics returns the server's counter set.
 func (s *Server) Metrics() *Metrics { return &s.metrics }
@@ -148,6 +199,13 @@ func (s *Server) Route(src, dst mesh.Coord) Answer {
 			ans.Reason = e.endpointErr("dst", dst)
 		}
 		s.metrics.RoutesRejected.Add(1)
+		return ans
+	}
+	if e.Table != nil {
+		q := s.scratch.Get().(*classtable.Scratch)
+		r, reason := e.tableRoute(s.orders, src, dst, q)
+		s.scratch.Put(q)
+		s.observe(&cacheEntry{route: r, reason: reason}, &ans)
 		return ans
 	}
 	k := pairKey{e.Faults.Mesh().Index(src), e.Faults.Mesh().Index(dst)}
@@ -266,7 +324,7 @@ func (s *Server) recompute(nodes []mesh.Coord, links []mesh.Link) error {
 	if hook := s.testHookPrePublish; hook != nil {
 		hook()
 	}
-	next := newEpoch(s.recon.Faults(), res.Lambs, uint64(s.recon.Generation()), time.Now())
+	next := s.newEpoch(s.recon.Faults(), res.Lambs, uint64(s.recon.Generation()), time.Now())
 	s.epoch.Store(next)
 	s.metrics.Recomputes.Add(1)
 	s.mu.Lock()

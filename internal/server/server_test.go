@@ -12,8 +12,15 @@ import (
 
 func newTestServer(t *testing.T, widths ...int) *Server {
 	t.Helper()
+	return newSourceServer(t, RouteSourceAuto, widths...)
+}
+
+// newSourceServer builds a server pinned to one route data plane; tests
+// that assert cache semantics pass RouteSourceCache explicitly.
+func newSourceServer(t *testing.T, source string, widths ...int) *Server {
+	t.Helper()
 	m := mesh.MustNew(widths...)
-	s, err := New(Config{Mesh: m, Orders: routing.UniformAscending(m.Dims(), 2)})
+	s, err := New(Config{Mesh: m, Orders: routing.UniformAscending(m.Dims(), 2), RouteSource: source})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +45,7 @@ func waitGeneration(t *testing.T, s *Server, gen uint64) *Epoch {
 }
 
 func TestGenerationZeroRoutes(t *testing.T) {
-	s := newTestServer(t, 8, 8)
+	s := newSourceServer(t, RouteSourceCache, 8, 8)
 	ans := s.Route(mesh.C(0, 0), mesh.C(7, 7))
 	if !ans.Found || ans.Generation != 0 || ans.Cached {
 		t.Fatalf("pristine route: %+v", ans)

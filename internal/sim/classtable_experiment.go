@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lambmesh/internal/classtable"
+	"lambmesh/internal/mesh"
+	"lambmesh/internal/routing"
+)
+
+func init() {
+	extraRegistry = append(extraRegistry,
+		Experiment{ID: "classtable", Title: "class-table compression: route-table memory vs mesh size and fault count against the ((2d-1)f+1)^2 bound", Weight: 3, Run: runClassTable},
+	)
+}
+
+// runClassTable builds lambd's compressed (SES, DES) route table over
+// random fault sets and measures its size: class counts, class pairs
+// against the ((2d-1)f+1)^2 worst-case bound, and resident bytes with
+// every via slot demanded. The rows with equal f and growing n are the
+// point of the design: the class structure depends on the faults, not the
+// mesh, so as n grows at fixed f the class counts (and hence memory)
+// converge to the f-determined ceiling — faults reach general position —
+// while a per-pair cache needs one entry per good (src, dst) pair, the
+// quadratically growing "good^2" column.
+func runClassTable(cfg Config) *Table {
+	trials := scaledTrials(cfg, 3)
+	configs := []struct {
+		widths []int
+		faults int
+	}{
+		{[]int{32, 32}, 8},
+		{[]int{32, 32}, 31},
+		{[]int{64, 64}, 31},
+		{[]int{128, 128}, 31},
+		{[]int{16, 16, 16}, 64},
+	}
+	orders2 := routing.UniformAscending(2, 2)
+	orders3 := routing.UniformAscending(3, 2)
+
+	t := &Table{ID: "classtable",
+		Title:   fmt.Sprintf("compressed route-table size, random node faults (%d trials/point)", trials),
+		Paper:   "Section 6.1 partitions + Lemma 4.1 class invariance; class pairs <= ((2d-1)f+1)^2 by Theorem 6.4's partition bound",
+		Columns: []string{"mesh", "f", "avg SES", "avg DES", "avg pairs", "bound", "good^2", "build KiB", "filled KiB"},
+	}
+	for _, c := range configs {
+		m := mesh.MustNew(c.widths...)
+		d := len(c.widths)
+		orders := orders2
+		if d == 3 {
+			orders = orders3
+		}
+		bound := ((2*d-1)*c.faults + 1) * ((2*d-1)*c.faults + 1)
+		good := int(m.Nodes()) - c.faults
+		var sumSES, sumDES, sumPairs, sumBuild, sumFilled float64
+		for trial := 0; trial < trials; trial++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(trial)))
+			fs := mesh.RandomNodeFaults(m, c.faults, rng)
+			tab, err := classtable.New(fs, orders, cfg.Workers)
+			if err != nil {
+				panic(err)
+			}
+			sumBuild += float64(tab.Stats().Bytes)
+			fillAllSlots(tab, fs)
+			st := tab.Stats()
+			sumSES += float64(st.SESs)
+			sumDES += float64(st.DESs)
+			sumPairs += float64(st.Pairs)
+			sumFilled += float64(st.Bytes)
+		}
+		n := float64(trials)
+		t.AddRow(m.String(), fmt.Sprint(c.faults),
+			F(sumSES/n), F(sumDES/n), F(sumPairs/n),
+			fmt.Sprint(bound), fmt.Sprint(good*good),
+			F(sumBuild/n/1024), F(sumFilled/n/1024))
+	}
+	return t
+}
+
+// fillAllSlots demands every class pair's via list through one
+// representative lookup per pair, so Stats reports the fully-resident
+// table rather than the build-time skeleton.
+func fillAllSlots(tab *classtable.Table, fs *mesh.FaultSet) {
+	ses, des := tab.Classes()
+	repS := make([]mesh.Coord, ses)
+	repD := make([]mesh.Coord, des)
+	tab.Mesh().ForEachNode(func(c mesh.Coord) {
+		if fs.NodeFaulty(c) {
+			return
+		}
+		s, d := tab.ClassOf(c)
+		if s >= 0 && repS[s] == nil {
+			repS[s] = c.Clone()
+		}
+		if d >= 0 && repD[d] == nil {
+			repD[d] = c.Clone()
+		}
+	})
+	var q classtable.Scratch
+	for _, src := range repS {
+		for _, dst := range repD {
+			if src != nil && dst != nil {
+				tab.Lookup(src, dst, &q)
+			}
+		}
+	}
+}

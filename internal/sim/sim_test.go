@@ -276,7 +276,7 @@ func TestRegistryCoversDesignIndex(t *testing.T) {
 		"sec3one", "sec3two", "fig15", "prop65", "hardness",
 		"abl-rounds", "abl-vcover", "abl-blockfault", "abl-sptree", "worm",
 		"ext-linkfaults", "ext-reconfig", "ext-congestion", "ext-torus",
-		"worm-saturation", "worm-recovery",
+		"worm-saturation", "worm-recovery", "classtable",
 	}
 	for _, id := range ids {
 		if _, ok := Lookup(id); !ok {

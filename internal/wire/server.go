@@ -1,0 +1,94 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+)
+
+const connBufSize = 64 << 10
+
+// Serve accepts connections on l and answers route requests from b until
+// the listener closes. Each connection gets its own goroutine and its own
+// reusable buffers, so the per-request path performs no heap allocations.
+func Serve(l net.Listener, b Backend) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go serveConn(conn, b)
+	}
+}
+
+// serveConn runs one connection's request loop. Responses are written in
+// request order; the writer is flushed only when the reader has no more
+// buffered input, which batches pipelined responses into few syscalls.
+// A protocol violation answers one error frame and closes the connection.
+func serveConn(conn net.Conn, b Backend) {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, connBufSize)
+	bw := bufio.NewWriterSize(conn, connBufSize)
+
+	d := b.Dims()
+	src := make([]int, 0, d)
+	dst := make([]int, 0, d)
+	var ans Answer
+	header := make([]byte, HeaderLen)
+	payload := make([]byte, 0, 256)
+	out := make([]byte, 0, 256)
+
+	fail := func(msg string) {
+		out = AppendError(out[:0], msg)
+		bw.Write(out)
+		bw.Flush()
+	}
+
+	for {
+		// About to block on the next header: push out everything pending.
+		if br.Buffered() < HeaderLen {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+		if _, err := io.ReadFull(br, header); err != nil {
+			return // EOF (clean close) or a dead peer; nothing to answer
+		}
+		typ, n, err := parseHeader(header)
+		if err != nil {
+			fail(err.Error())
+			return
+		}
+		if cap(payload) < n {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return
+		}
+		if typ != TRouteReq {
+			fail("wire: expected a route request frame")
+			return
+		}
+		if src, dst, err = ParseRouteReq(payload, src, dst); err != nil {
+			fail(err.Error())
+			return
+		}
+		if len(src) != d {
+			fail("wire: request dimensionality does not match the mesh")
+			return
+		}
+		b.Query(src, dst, &ans)
+		if out, err = AppendRouteResp(out[:0], &ans, d); err != nil {
+			fail(err.Error())
+			return
+		}
+		if _, err := bw.Write(out); err != nil {
+			return
+		}
+	}
+}

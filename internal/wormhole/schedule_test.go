@@ -87,12 +87,12 @@ func TestScheduleValidate(t *testing.T) {
 		t.Errorf("valid schedule rejected: %v", err)
 	}
 	bad := []FaultSchedule{
-		{Events: []FaultEvent{{Cycle: 1, Nodes: []mesh.Coord{mesh.C(4, 0)}}}},                         // out of bounds
-		{Events: []FaultEvent{{Cycle: 1, Nodes: []mesh.Coord{mesh.C(1, 1, 1)}}}},                      // wrong dims
-		{Events: []FaultEvent{{Cycle: 1, Links: []mesh.Link{{From: mesh.C(3, 3), Dim: 0, Dir: 1}}}}},  // no head
-		{Events: []FaultEvent{{Cycle: 1, Links: []mesh.Link{{From: mesh.C(0, 0), Dim: 5, Dir: 1}}}}},  // bad dim
-		{Events: []FaultEvent{{Cycle: 1, Links: []mesh.Link{{From: mesh.C(0, 0), Dim: 0, Dir: 2}}}}},  // bad dir
-		{Events: []FaultEvent{{Cycle: -1, Nodes: []mesh.Coord{mesh.C(0, 0)}}}},                        // negative cycle
+		{Events: []FaultEvent{{Cycle: 1, Nodes: []mesh.Coord{mesh.C(4, 0)}}}},                        // out of bounds
+		{Events: []FaultEvent{{Cycle: 1, Nodes: []mesh.Coord{mesh.C(1, 1, 1)}}}},                     // wrong dims
+		{Events: []FaultEvent{{Cycle: 1, Links: []mesh.Link{{From: mesh.C(3, 3), Dim: 0, Dir: 1}}}}}, // no head
+		{Events: []FaultEvent{{Cycle: 1, Links: []mesh.Link{{From: mesh.C(0, 0), Dim: 5, Dir: 1}}}}}, // bad dim
+		{Events: []FaultEvent{{Cycle: 1, Links: []mesh.Link{{From: mesh.C(0, 0), Dim: 0, Dir: 2}}}}}, // bad dir
+		{Events: []FaultEvent{{Cycle: -1, Nodes: []mesh.Coord{mesh.C(0, 0)}}}},                       // negative cycle
 	}
 	for i, s := range bad {
 		if err := s.Validate(m); err == nil {
@@ -169,7 +169,7 @@ func FuzzFaultSchedule(f *testing.F) {
 	f.Add("event 500\nnode 3,4\nlink 1,1 0 +1\nevent 900\nnode 7,7\n")
 	f.Add("# comment\n\nevent 0\nnode 0,0,0\nlink 2,2,2 2 -1\n")
 	f.Add("event 7\nevent 7\nnode 1,2\nnode 1,2\n")
-	f.Add("event 10\n") // empty event: canonicalizes away
+	f.Add("event 10\n")          // empty event: canonicalizes away
 	f.Add("node 1,1\nevent 5\n") // node before event: must error
 	f.Fuzz(func(t *testing.T, input string) {
 		s, err := ReadSchedule(strings.NewReader(input))

@@ -2,7 +2,8 @@
 # bench.sh — record the lamb pipeline's perf trajectory.
 #
 # Runs the hot-path benchmarks (Fig17/Fig18 trials, BitmatMul, the Section 5
-# pipeline, the wormhole cycle loop) twice — LAMBMESH_WORKERS=1 and
+# pipeline, the wormhole cycle loop, the class-table query path, and the
+# wire codec) twice — LAMBMESH_WORKERS=1 and
 # LAMBMESH_WORKERS=NumCPU — and writes BENCH_lamb.json with ns/op and
 # allocs/op per (benchmark, workers) pair plus per-benchmark speedups. On a
 # single-CPU machine only the workers=1 pass runs (there is nothing to
@@ -23,7 +24,7 @@ cd "$(dirname "$0")/.."
 
 OUT="${OUT:-BENCH_lamb.json}"
 BENCHTIME="${BENCHTIME:-3x}"
-BENCH_RE='^(BenchmarkFig17Trial|BenchmarkFig18Trial|BenchmarkBitmatMul|BenchmarkSec5LambSet|BenchmarkWormholeRun|BenchmarkTrafficEngine)$'
+BENCH_RE='^(BenchmarkFig17Trial|BenchmarkFig18Trial|BenchmarkBitmatMul|BenchmarkSec5LambSet|BenchmarkWormholeRun|BenchmarkTrafficEngine|BenchmarkClassTableQuery|BenchmarkWireRoundTrip)$'
 
 if [ "${1:-}" = "--check" ]; then
     exec go run ./scripts/benchcheck -file "$OUT"

@@ -54,6 +54,8 @@ var requiredBenchmarks = []string{
 	"BenchmarkSec5LambSet",
 	"BenchmarkWormholeRun",
 	"BenchmarkTrafficEngine",
+	"BenchmarkClassTableQuery",
+	"BenchmarkWireRoundTrip",
 }
 
 // budgetFile is the checked-in allocation budget table: for each benchmark,
