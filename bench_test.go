@@ -8,6 +8,7 @@ package lambmesh
 // determine those running times.
 
 import (
+	"fmt"
 	"math/rand"
 	"os"
 	"strconv"
@@ -529,5 +530,132 @@ func BenchmarkVerifyLambSet(b *testing.B) {
 		if err := core.VerifyLambSet(f, orders, res.Lambs); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// Reconfiguration benchmarks: the incremental AddFaults path against the
+// full-pipeline baseline, and the post-swap class-table query burst.
+
+// benchAddFaults measures one AddFaults recompute on M_2(32) with a
+// 31-fault base configuration (the Figure 17 data point): each iteration
+// rebuilds the warm generation outside the timer, then times folding a
+// delta-sized fault batch in. With incremental set the patch path runs;
+// otherwise IncrementalThreshold is disabled and the same delta recomputes
+// from scratch — the two sub-benchmark families are the speedup numerator
+// and denominator in EXPERIMENTS.md.
+func benchAddFaults(b *testing.B, delta int, incremental bool) {
+	b.Helper()
+	m := mesh.MustNew(32, 32)
+	rng := rand.New(rand.NewSource(17))
+	all := mesh.RandomNodeFaults(m, 31+delta, rng).NodeFaults()
+	seed, batch := all[:31], all[31:]
+	orders := routing.UniformAscending(2, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		rec, err := core.NewReconfigurer(m, orders, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec.Workers = benchWorkers()
+		if !incremental {
+			rec.IncrementalThreshold = 0
+		}
+		if _, err := rec.AddFaults(seed, nil); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := rec.AddFaults(batch, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+}
+
+// BenchmarkIncrementalAddFaults: delta=N times the incremental patch,
+// full-delta=N the full-pipeline recompute of the identical configuration.
+func BenchmarkIncrementalAddFaults(b *testing.B) {
+	for _, d := range []int{1, 4, 16} {
+		d := d
+		b.Run(fmt.Sprintf("delta=%d", d), func(b *testing.B) { benchAddFaults(b, d, true) })
+	}
+	for _, d := range []int{1, 4, 16} {
+		d := d
+		b.Run(fmt.Sprintf("full-delta=%d", d), func(b *testing.B) { benchAddFaults(b, d, false) })
+	}
+}
+
+// BenchmarkClassTableSwapQuery: the post-swap query burst — a fixed sweep
+// of route lookups issued against a freshly built table, exactly the
+// traffic the daemon serves in the seconds after an epoch swap. cold
+// builds the new epoch's table with New (every lookup that first touches a
+// class pair pays its lazy fill); warm builds it with NewFrom seeded from
+// the previous epoch's exercised table, so the sweep lands on migrated and
+// prefilled slots. The table build itself is outside the timer on both
+// sides — it runs on the apply worker before the swap.
+func BenchmarkClassTableSwapQuery(b *testing.B) {
+	m := mesh.MustNew(32, 32)
+	rng := rand.New(rand.NewSource(10))
+	f := mesh.RandomNodeFaults(m, 31, rng)
+	orders := routing.UniformAscending(2, 2)
+	prev, err := classtable.New(f, orders, benchWorkers())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var good []mesh.Coord
+	m.ForEachNode(func(c mesh.Coord) {
+		if !f.NodeFaulty(c) {
+			good = append(good, c.Clone())
+		}
+	})
+	// Exercise the previous epoch so its slots are filled and its hit
+	// counters rank the working set.
+	var q classtable.Scratch
+	for _, s := range good {
+		for _, d := range good {
+			prev.Lookup(s, d, &q)
+		}
+	}
+	// The next epoch: one more fault, reported mid-mesh.
+	extra := good[len(good)/2]
+	f2 := mesh.NewFaultSet(m)
+	f2.AddNodes(f.NodeFaults()...)
+	f2.AddNodes(extra)
+	// The post-swap burst: a fixed pseudo-random sweep over surviving
+	// endpoints (identical for cold and warm).
+	type pair struct{ src, dst mesh.Coord }
+	qrng := rand.New(rand.NewSource(11))
+	pairs := make([]pair, 0, 4096)
+	for len(pairs) < 4096 {
+		s := good[qrng.Intn(len(good))]
+		d := good[qrng.Intn(len(good))]
+		if f2.NodeFaulty(s) || f2.NodeFaulty(d) {
+			continue // the extra fault is not an endpoint in either epoch
+		}
+		pairs = append(pairs, pair{src: s, dst: d})
+	}
+	for _, mode := range []string{"cold", "warm"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				var tab *classtable.Table
+				var err error
+				if mode == "warm" {
+					tab, err = classtable.NewFrom(f2, orders, benchWorkers(), prev)
+				} else {
+					tab, err = classtable.New(f2, orders, benchWorkers())
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for _, p := range pairs {
+					tab.Lookup(p.src, p.dst, &q)
+				}
+			}
+		})
 	}
 }

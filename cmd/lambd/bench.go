@@ -1,11 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/url"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -42,6 +44,7 @@ func cmdBench(args []string, stdout io.Writer) error {
 		duration = fs.Duration("duration", 5*time.Second, "measurement length")
 		mix      = fs.String("mix", "uniform", "query mix: uniform or hotspot (25% of queries to one corner)")
 		seed     = fs.Int64("seed", 1, "query-stream seed")
+		jsonPath = fs.String("json", "", "also write a machine-readable summary (QPS, counts, percentiles, latency histogram) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -127,7 +130,77 @@ func cmdBench(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "bench: latency p50 %v  p90 %v  p99 %v  max %v (%d samples)\n",
 			pct(0.50), pct(0.90), pct(0.99), total.samples[n-1], n)
 	}
+	if *jsonPath != "" {
+		if err := writeBenchJSON(*jsonPath, *proto, *mix, cfg, *conns, *duration, qps, &total); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "bench: summary written to %s\n", *jsonPath)
+	}
 	return nil
+}
+
+// benchSummary is the -json report: enough to diff runs (or feed a plotter)
+// without re-parsing the human output.
+type benchSummary struct {
+	Proto       string  `json:"proto"`
+	Mesh        string  `json:"mesh"`
+	RouteSource string  `json:"route_source"`
+	Mix         string  `json:"mix"`
+	Conns       int     `json:"conns"`
+	DurationSec float64 `json:"duration_seconds"`
+	Responses   int64   `json:"responses"`
+	Found       int64   `json:"found"`
+	Rejected    int64   `json:"rejected"`
+	QPS         float64 `json:"qps"`
+	// Latency percentiles in microseconds over the (capped) sample set.
+	LatencyUS map[string]float64 `json:"latency_us"`
+	// Histogram over exponentially growing bounds. Buckets[i] counts
+	// samples <= BoundsUS[i]; the final bucket is +Inf.
+	HistBoundsUS []float64 `json:"hist_bounds_us"`
+	HistCounts   []int64   `json:"hist_counts"`
+	Samples      int       `json:"samples"`
+}
+
+// writeBenchJSON renders the run summary; total.samples must be sorted.
+func writeBenchJSON(path, proto, mix string, cfg server.ConfigResponse, conns int, d time.Duration, qps float64, total *benchResult) error {
+	n := len(total.samples)
+	s := benchSummary{
+		Proto:       proto,
+		Mesh:        cfg.Mesh,
+		RouteSource: cfg.RouteSource,
+		Mix:         mix,
+		Conns:       conns,
+		DurationSec: d.Seconds(),
+		Responses:   total.responses,
+		Found:       total.found,
+		Rejected:    total.rejected,
+		QPS:         qps,
+		LatencyUS:   map[string]float64{},
+		Samples:     n,
+	}
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	if n > 0 {
+		pct := func(p float64) float64 { return us(total.samples[min(n-1, int(p*float64(n)))]) }
+		s.LatencyUS["p50"] = pct(0.50)
+		s.LatencyUS["p90"] = pct(0.90)
+		s.LatencyUS["p99"] = pct(0.99)
+		s.LatencyUS["max"] = us(total.samples[n-1])
+	}
+	// 2x-growing bounds from 10us to ~160ms, then +Inf.
+	for b := 10.0; b <= 200_000; b *= 2 {
+		s.HistBoundsUS = append(s.HistBoundsUS, b)
+	}
+	s.HistCounts = make([]int64, len(s.HistBoundsUS)+1)
+	for _, d := range total.samples {
+		v := us(d)
+		i := sort.SearchFloat64s(s.HistBoundsUS, v)
+		s.HistCounts[i]++
+	}
+	raw, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
 }
 
 // goodEndpoints enumerates the nodes that can be route endpoints: inside

@@ -1,9 +1,11 @@
 package main
 
 import (
+	"encoding/json"
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"testing"
 
@@ -91,6 +93,49 @@ func TestBenchSubcommand(t *testing.T) {
 		if strings.Contains(out, "(0 found") {
 			t.Errorf("%v: no routes found: %q", tc, out)
 		}
+	}
+}
+
+// The -json summary: a machine-readable QPS/latency dump whose counters
+// reconcile with the run.
+func TestBenchJSONSummary(t *testing.T) {
+	s, url := startDaemon(t, "8x8", "")
+	wireAddr := startWire(t, s)
+	path := t.TempDir() + "/bench.json"
+	out, errOut, code := runCmd(t, "bench", "-addr", url, "-proto", "wire",
+		"-wire-addr", wireAddr, "-conns", "2", "-duration", "150ms", "-json", path)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "summary written to") {
+		t.Errorf("output %q", out)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum benchSummary
+	if err := json.Unmarshal(raw, &sum); err != nil {
+		t.Fatalf("summary does not parse: %v\n%s", err, raw)
+	}
+	if sum.Proto != "wire" || sum.Mesh != "8x8" || sum.Conns != 2 {
+		t.Errorf("summary header: %+v", sum)
+	}
+	if sum.Responses == 0 || sum.QPS <= 0 || sum.Found != sum.Responses {
+		t.Errorf("summary counters: %+v", sum)
+	}
+	if len(sum.HistCounts) != len(sum.HistBoundsUS)+1 {
+		t.Fatalf("histogram shape: %d counts for %d bounds", len(sum.HistCounts), len(sum.HistBoundsUS))
+	}
+	var histTotal int64
+	for _, c := range sum.HistCounts {
+		histTotal += c
+	}
+	if histTotal != int64(sum.Samples) {
+		t.Errorf("histogram holds %d samples, want %d", histTotal, sum.Samples)
+	}
+	if sum.LatencyUS["p50"] <= 0 || sum.LatencyUS["max"] < sum.LatencyUS["p99"] {
+		t.Errorf("percentiles: %v", sum.LatencyUS)
 	}
 }
 

@@ -5,12 +5,12 @@
 //
 // Usage:
 //
-//	lambd serve  -addr :8080 -wire-addr :8081 -mesh 16x16 -k 2 [-keep-lambs] [-load faults.txt] [-workers N] [-route-source classtable|cache]
+//	lambd serve  -addr :8080 -wire-addr :8081 -mesh 16x16 -k 2 [-keep-lambs] [-load faults.txt] [-workers N] [-route-source classtable|cache] [-pprof-addr localhost:6060]
 //	lambd route  -addr http://host:8080 -src 0,0 -dst 5,5
 //	lambd faults -addr http://host:8080 [-nodes "(3,3);(4,4)"] [-links "(1,1),0,+1"] [-file faults.txt]
 //	lambd config -addr http://host:8080
 //	lambd metrics -addr http://host:8080
-//	lambd bench  -addr http://host:8080 [-proto wire|http] [-conns N] [-pipeline D] [-duration 10s] [-mix uniform|hotspot]
+//	lambd bench  -addr http://host:8080 [-proto wire|http] [-conns N] [-pipeline D] [-duration 10s] [-mix uniform|hotspot] [-json out.json]
 //
 // Every client subcommand honors -timeout and exits non-zero when the
 // daemon is unreachable or answers an error status.
@@ -28,6 +28,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // serve's -pprof-addr listener
 	"os"
 	"strconv"
 	"strings"
@@ -138,6 +139,7 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 		load      = fs.String("load", "", "seed faults from a lambmesh fault file (overrides -mesh)")
 		workers   = fs.Int("workers", 0, "recompute worker pool size; 0 = all CPUs (shrinks the stale-epoch window)")
 		source    = fs.String("route-source", "", "route data plane: classtable, cache, or empty for auto")
+		pprofAddr = fs.String("pprof-addr", "", "net/http/pprof listen address, e.g. localhost:6060 (empty disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -148,6 +150,18 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	}
 	defer s.Close()
 	s.PublishExpvar()
+	if *pprofAddr != "" {
+		// The pprof handlers register on http.DefaultServeMux at import;
+		// serve that mux on its own listener so profiles stay off the
+		// public API port.
+		l, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return err
+		}
+		defer l.Close()
+		go http.Serve(l, nil)
+		fmt.Fprintf(stdout, "lambd: pprof on http://%s/debug/pprof/\n", l.Addr())
+	}
 	if *wireAddr != "" {
 		l, err := net.Listen("tcp", *wireAddr)
 		if err != nil {

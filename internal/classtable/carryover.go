@@ -1,0 +1,287 @@
+package classtable
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"lambmesh/internal/mesh"
+	"lambmesh/internal/par"
+	"lambmesh/internal/partition"
+	"lambmesh/internal/rect"
+	"lambmesh/internal/routing"
+)
+
+// NewFrom builds the class table for fault set f like New, then warm-starts
+// its via slots from prev, the previous epoch's table. Fault growth is
+// monotone, so most classes survive a small fault delta unchanged; for every
+// (SES, DES) class pair whose class rectangles AND reachability rows are
+// identical in both epochs, the previous epoch's filled slot is translated
+// index-for-index into the new table (provably equal to what a cold fill
+// would compute — the identity tests pin this). Surviving pairs that were
+// filled before but cannot be safely migrated are eagerly prefilled in
+// parallel, hottest first by the previous epoch's per-slot hit counters, so
+// the post-swap query burst — issued exactly while traffic is rerouting —
+// finds a warm table.
+//
+// prev may be nil (or a table of a different shape/config): NewFrom then
+// degrades to exactly New. The returned table never aliases prev's mutable
+// state; prev remains fully usable, which is what the epoch swap needs —
+// queries keep landing on the old epoch until the new one is published.
+func NewFrom(f *mesh.FaultSet, orders routing.MultiOrder, workers int, prev *Table) (*Table, error) {
+	t, err := New(f, orders, workers)
+	if err != nil {
+		return nil, err
+	}
+	if prev == nil || t.k != 2 || prev.k != 2 ||
+		!sameMesh(t.m, prev.m) || !sameOrders(t.orders, prev.orders) {
+		return t, nil
+	}
+	t.carryOver(prev, par.Clamp(workers))
+	return t, nil
+}
+
+// carryOver migrates and prefills t's slots from prev. Both tables are k=2
+// over the same mesh and ordering; prev's fault set is a subset of t's.
+func (t *Table) carryOver(prev *Table, workers int) {
+	// Map every new class to its identical old class (by rectangle; a
+	// partition set IS its rectangle, Rep being the Lo corner).
+	sesMap := matchSets(t.sesSets, prev.sesSets)
+	desMap := matchSets(t.desSets, prev.desSets)
+	d1Map := matchSets(t.d1Sets, prev.d1Sets)
+	s2Map := matchSets(t.s2Sets, prev.s2Sets)
+
+	// Slot translation preserves cell order only if the cell axes map
+	// monotonically: cells are enumerated ascending in (des1, ses2), so a
+	// strictly increasing d1Map/s2Map maps an ascending old list to an
+	// ascending new list. Both maps are restrictions of the refinement
+	// old-partition -> new-partition to identical sets, which find emits in
+	// the same relative order — verified here so a violation degrades to a
+	// cold table instead of corrupting slots.
+	if !strictlyIncreasing(d1Map) || !strictlyIncreasing(s2Map) {
+		return
+	}
+	invD1 := invertMap(d1Map, len(prev.d1Sets))
+	invS2 := invertMap(s2Map, len(prev.s2Sets))
+
+	// rowOK[i]: new SES i's r1 row equals old SES sesMap[i]'s row under the
+	// column correspondence — equal on mapped columns, zero on new columns
+	// with no old counterpart AND on old columns with no new counterpart.
+	// Only then is the pair's feasible-cell set guaranteed unchanged.
+	rowOK := make([]bool, len(t.sesSets))
+	for i, iOld := range sesMap {
+		rowOK[i] = iOld >= 0 && rowsAgree(
+			func(a int) bool { return t.r1.Get(i, a) }, len(t.d1Sets), d1Map,
+			func(a int) bool { return prev.r1.Get(int(iOld), a) }, len(prev.d1Sets), invD1,
+		)
+	}
+	colOK := make([]bool, len(t.desSets))
+	for j, jOld := range desMap {
+		colOK[j] = jOld >= 0 && rowsAgree(
+			func(b int) bool { return t.r2.Get(b, j) }, len(t.s2Sets), s2Map,
+			func(b int) bool { return prev.r2.Get(b, int(jOld)) }, len(prev.s2Sets), invS2,
+		)
+	}
+
+	// New cell index by (des1, ses2) — the translation target.
+	cellIdx := make(map[int64]int32, len(t.cells))
+	for ci := range t.cells {
+		c := &t.cells[ci]
+		cellIdx[int64(c.des1)<<32|int64(c.ses2)] = int32(ci)
+	}
+
+	// Each new class descends from the previous-epoch class containing its
+	// representative (monotone fault growth refines classes near the new
+	// faults and leaves the rest identical; the representative is good in
+	// both epochs, so it classifies in both). The ancestor — not just an
+	// identical-rect match — decides warmth: when a hot class splits, its
+	// children inherit the demand its traffic will now spread across them.
+	sesAnc := make([]int, len(t.sesSets))
+	for i := range t.sesSets {
+		sesAnc[i] = prev.sesCls.Classify(t.sesSets[i].Rep)
+	}
+	desAnc := make([]int, len(t.desSets))
+	for j := range t.desSets {
+		desAnc[j] = prev.desCls.Classify(t.desSets[j].Rep)
+	}
+
+	D, Dold := len(t.desSets), len(prev.desSets)
+	type refill struct {
+		i, j int
+		hits uint32
+	}
+	var refills []refill
+	for i := range t.sesSets {
+		if sesAnc[i] < 0 {
+			continue
+		}
+		for j := range t.desSets {
+			if desAnc[j] < 0 {
+				continue
+			}
+			so := sesAnc[i]*Dold + desAnc[j]
+			pOld := prev.slots[so].Load()
+			if pOld == nil {
+				continue // never demanded last epoch; stay lazy
+			}
+			oldHits := prev.hits[so].Load()
+			// Translate index-for-index only when the pair survived intact:
+			// identical rectangles on both sides (the ancestor then IS the
+			// identical match) and identical reachability rows.
+			if int32(sesAnc[i]) == sesMap[i] && int32(desAnc[j]) == desMap[j] &&
+				rowOK[i] && colOK[j] {
+				if list, ok := t.translateCells(prev, pOld.cells, invD1, invS2, cellIdx); ok {
+					t.slots[i*D+j].Store(&pairVias{cells: list})
+					t.hits[i*D+j].Store(oldHits)
+					t.warmSlots++
+					continue
+				}
+			}
+			if t.rk.Get(i, j) {
+				refills = append(refills, refill{i: i, j: j, hits: oldHits})
+			}
+		}
+	}
+
+	// Prefill the rest of the surviving working set, hottest first. par.Do
+	// walks indices in order across workers, so the ranking decides which
+	// slots are warm soonest; the lists themselves are deterministic.
+	sort.Slice(refills, func(a, b int) bool {
+		if refills[a].hits != refills[b].hits {
+			return refills[a].hits > refills[b].hits
+		}
+		return refills[a].i*D+refills[a].j < refills[b].i*D+refills[b].j
+	})
+	par.Do(workers, len(refills), func(n int) {
+		r := refills[n]
+		t.slots[r.i*D+r.j].Store(&pairVias{cells: t.scanCells(r.i, r.j)})
+		t.hits[r.i*D+r.j].Store(r.hits)
+	})
+	t.warmSlots += int64(len(refills))
+	t.filled.Store(t.warmSlots)
+}
+
+// translateCells maps an old feasible-cell list into new cell indices. The
+// surrounding row/column checks guarantee every entry maps; a miss reports
+// !ok and the caller falls back to a fresh fill.
+func (t *Table) translateCells(prev *Table, old []int32, invD1, invS2 []int32, cellIdx map[int64]int32) ([]int32, bool) {
+	list := make([]int32, len(old))
+	for n, co := range old {
+		c := &prev.cells[co]
+		a, b := invD1[c.des1], invS2[c.ses2]
+		if a < 0 || b < 0 {
+			return nil, false
+		}
+		ci, ok := cellIdx[int64(a)<<32|int64(b)]
+		if !ok {
+			return nil, false
+		}
+		list[n] = ci
+	}
+	return list, true
+}
+
+// matchSets maps each index of cur to the index in old holding an identical
+// rectangle, or -1. Rectangles identify partition sets completely.
+func matchSets(cur, old []partition.Set) []int32 {
+	idx := make(map[string]int32, len(old))
+	var key []byte
+	for i := range old {
+		idx[string(rectKey(key[:0], old[i].Rect))] = int32(i)
+	}
+	m := make([]int32, len(cur))
+	for i := range cur {
+		if o, ok := idx[string(rectKey(key[:0], cur[i].Rect))]; ok {
+			m[i] = o
+		} else {
+			m[i] = -1
+		}
+	}
+	return m
+}
+
+func rectKey(dst []byte, r rect.Rect) []byte {
+	for _, iv := range r {
+		dst = binary.AppendVarint(dst, int64(iv.Lo))
+		dst = binary.AppendVarint(dst, int64(iv.Hi))
+	}
+	return dst
+}
+
+// strictlyIncreasing reports whether the defined (>= 0) entries of m are
+// strictly increasing in index order.
+func strictlyIncreasing(m []int32) bool {
+	last := int32(-1)
+	for _, v := range m {
+		if v < 0 {
+			continue
+		}
+		if v <= last {
+			return false
+		}
+		last = v
+	}
+	return true
+}
+
+// invertMap flips new->old into old->new (-1 where undefined).
+func invertMap(m []int32, oldLen int) []int32 {
+	inv := make([]int32, oldLen)
+	for i := range inv {
+		inv[i] = -1
+	}
+	for i, v := range m {
+		if v >= 0 {
+			inv[v] = int32(i)
+		}
+	}
+	return inv
+}
+
+// rowsAgree compares one new reachability row against one old row under an
+// index correspondence: mapped positions must carry equal bits, and
+// positions without a counterpart (on either side) must be zero.
+func rowsAgree(newBit func(int) bool, newLen int, toOld []int32,
+	oldBit func(int) bool, oldLen int, toNew []int32) bool {
+	for a := 0; a < newLen; a++ {
+		if o := toOld[a]; o >= 0 {
+			if newBit(a) != oldBit(int(o)) {
+				return false
+			}
+		} else if newBit(a) {
+			return false
+		}
+	}
+	for o := 0; o < oldLen; o++ {
+		if toNew[o] < 0 && oldBit(o) {
+			return false
+		}
+	}
+	return true
+}
+
+func sameMesh(a, b *mesh.Mesh) bool {
+	if a == b {
+		return true
+	}
+	if a.Dims() != b.Dims() || a.Torus() != b.Torus() {
+		return false
+	}
+	for d := 0; d < a.Dims(); d++ {
+		if a.Width(d) != b.Width(d) {
+			return false
+		}
+	}
+	return true
+}
+
+func sameOrders(a, b routing.MultiOrder) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,183 @@
+package classtable
+
+import (
+	"math/rand"
+	"testing"
+
+	"lambmesh/internal/mesh"
+	"lambmesh/internal/routing"
+)
+
+// lookupAll answers every good (src,dst) pair and returns the results in
+// scan order, Via cloned out of the scratch.
+func lookupAll(t *testing.T, tab *Table) []Result {
+	t.Helper()
+	m := tab.Mesh()
+	var q Scratch
+	out := make([]Result, 0, m.Nodes()*m.Nodes())
+	for si := int64(0); si < m.Nodes(); si++ {
+		for di := int64(0); di < m.Nodes(); di++ {
+			out = append(out, tab.Lookup(m.CoordOf(si), m.CoordOf(di), &q).Clone())
+		}
+	}
+	return out
+}
+
+func sameResults(t *testing.T, got, want []Result, ctx string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results != %d", ctx, len(got), len(want))
+	}
+	for n := range got {
+		g, w := got[n], want[n]
+		if g.Found != w.Found || g.Code != w.Code || g.NVias != w.NVias ||
+			g.Hops != w.Hops || g.Turns != w.Turns {
+			t.Fatalf("%s: result %d = %+v, want %+v", ctx, n, g, w)
+		}
+		if (g.Via == nil) != (w.Via == nil) || (g.Via != nil && !g.Via.Equal(w.Via)) {
+			t.Fatalf("%s: result %d via %v, want %v", ctx, n, g.Via, w.Via)
+		}
+	}
+}
+
+// The carry-over pin: a table warm-started from the previous epoch answers
+// every query byte-identically to a cold table on the same fault set — over
+// randomized fault growth with node and link faults — while actually
+// migrating slots (WarmSlots > 0 once the previous table saw traffic).
+func TestNewFromMatchesNew(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	orders := routing.UniformAscending(2, 2)
+	for trial := 0; trial < 4; trial++ {
+		m := mesh.MustNew(8, 8)
+		f := mesh.NewFaultSet(m)
+		var prev *Table
+		for gen := 0; gen < 4; gen++ {
+			// Grow the fault set by a small random delta.
+			for i := 0; i <= rng.Intn(2); i++ {
+				if rng.Intn(3) == 0 {
+					c := m.CoordOf(rng.Int63n(m.Nodes()))
+					dim := rng.Intn(2)
+					dir := 1 - 2*rng.Intn(2)
+					if _, ok := m.Neighbor(c, dim, dir); ok {
+						f.AddLink(mesh.Link{From: c, Dim: dim, Dir: dir})
+					}
+				} else {
+					f.AddNode(m.CoordOf(rng.Int63n(m.Nodes())))
+				}
+			}
+			warm, err := NewFrom(f, orders, 1, prev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold, err := New(f, orders, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResults(t, lookupAll(t, warm), lookupAll(t, cold), "gen")
+			if prev != nil {
+				if ws := warm.Stats().WarmSlots; ws == 0 {
+					t.Fatalf("trial %d gen %d: no slots carried over from a fully-exercised table", trial, gen)
+				}
+			}
+			// Exercise the warm table so the next generation has hit counts
+			// and filled slots to migrate; it becomes the next prev.
+			prev = warm
+		}
+	}
+}
+
+// The warm-hit counters: queries against migrated/prefilled slots count as
+// warm hits, and WarmSlots + on-demand fills reconcile with FilledSlots.
+func TestNewFromWarmHitAccounting(t *testing.T) {
+	m := mesh.MustNew(8, 8)
+	orders := routing.UniformAscending(2, 2)
+	f := mesh.NewFaultSet(m)
+	f.AddNodes(mesh.C(3, 3))
+	prev, err := New(f, orders, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lookupAll(t, prev) // fill every reachable slot
+	f.AddNodes(mesh.C(6, 1))
+	warm, err := NewFrom(f, orders, 1, prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := warm.Stats()
+	if before.WarmSlots == 0 || before.FilledSlots != int(before.WarmSlots) {
+		t.Fatalf("after build: %+v", before)
+	}
+	if before.WarmHits != 0 || before.ColdFills != 0 {
+		t.Fatalf("no queries ran yet: %+v", before)
+	}
+	lookupAll(t, warm)
+	after := warm.Stats()
+	if after.WarmHits == 0 {
+		t.Fatal("prefilled slots should serve warm hits")
+	}
+	if after.ColdFills != int64(after.FilledSlots)-after.WarmSlots {
+		t.Fatalf("cold fills %d != filled %d - warm %d",
+			after.ColdFills, after.FilledSlots, after.WarmSlots)
+	}
+}
+
+// Degradation: nil prev, mismatched mesh, and mismatched orders all produce
+// a plain cold table (and never fail).
+func TestNewFromDegradesToNew(t *testing.T) {
+	orders := routing.UniformAscending(2, 2)
+	f := mesh.NewFaultSet(mesh.MustNew(8, 8))
+	f.AddNodes(mesh.C(2, 2))
+
+	tab, err := NewFrom(f, orders, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Stats().WarmSlots != 0 {
+		t.Fatal("nil prev cannot warm anything")
+	}
+
+	otherMesh := mesh.NewFaultSet(mesh.MustNew(6, 6))
+	prevSmall, err := New(otherMesh, orders, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lookupAll(t, prevSmall)
+	tab, err = NewFrom(f, orders, 1, prevSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Stats().WarmSlots != 0 {
+		t.Fatal("mesh mismatch must degrade to a cold table")
+	}
+
+	prevYX, err := New(f, routing.MultiOrder{{1, 0}, {0, 1}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err = NewFrom(f, orders, 1, prevYX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Stats().WarmSlots != 0 {
+		t.Fatal("order mismatch must degrade to a cold table")
+	}
+}
+
+// The previous table stays fully usable after NewFrom — the epoch swap
+// keeps serving queries from it until the new epoch publishes.
+func TestNewFromLeavesPrevUsable(t *testing.T) {
+	m := mesh.MustNew(8, 8)
+	orders := routing.UniformAscending(2, 2)
+	f := mesh.NewFaultSet(m)
+	f.AddNodes(mesh.C(4, 4))
+	prev, err := New(f, orders, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := lookupAll(t, prev)
+	f.AddNodes(mesh.C(1, 6))
+	if _, err := NewFrom(f, orders, 1, prev); err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, lookupAll(t, prev), baseline, "prev after NewFrom")
+}

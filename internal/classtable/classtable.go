@@ -6,7 +6,7 @@
 // that insight as a serving structure built once per epoch:
 //
 //   - classify src and dst in O(d log f) via the sorted fault-interval
-//     trees of classify.go;
+//     trees of partition.Classifier;
 //   - read one bit of the S x D k-round reachability matrix to answer
 //     "is there a route?";
 //   - for 2-round routings, read the class pair's slot — the precomputed
@@ -77,23 +77,31 @@ type Table struct {
 
 	sesSets []partition.Set // SES partition of pi_1 (row classes)
 	desSets []partition.Set // DES partition of pi_k (column classes)
-	sesCls  *classifier
-	desCls  *classifier
+	sesCls  *partition.Classifier
+	desCls  *partition.Classifier
 
 	// rk is the k-round class reachability matrix: rk(i,j) == 1 iff every
 	// node of SES i can k-round-reach every node of DES j.
 	rk *bitmat.Matrix
 
 	// Two-round machinery (nil/empty when k == 1).
-	r1    *bitmat.Matrix // |Sigma_1| x |Delta_1| one-round matrix of pi_1
-	r2    *bitmat.Matrix // |Sigma_2| x |Delta_2| one-round matrix of pi_2
-	cells []viaCell
+	r1     *bitmat.Matrix  // |Sigma_1| x |Delta_1| one-round matrix of pi_1
+	r2     *bitmat.Matrix  // |Sigma_2| x |Delta_2| one-round matrix of pi_2
+	d1Sets []partition.Set // Delta_1 sets indexing r1's columns and cells' des1
+	s2Sets []partition.Set // Sigma_2 sets indexing r2's rows and cells' ses2
+	cells  []viaCell
 	// slots[i*len(desSets)+j] caches the feasible-cell list of class pair
 	// (i,j). Filled on first use; concurrent fillers compute identical
 	// lists, so last-write-wins publication is benign.
 	slots []atomic.Pointer[pairVias]
+	// hits counts pair-lookups per slot; NewFrom ranks its eager prefill by
+	// the previous epoch's counters so the hot working set is warm first.
+	hits []atomic.Uint32
 
-	filled atomic.Int64 // slots published so far (stats only)
+	filled    atomic.Int64 // slots published so far (stats only)
+	warmSlots int64        // slots carried over or prefilled at build time
+	warmHits  atomic.Int64 // pair-lookups that found their slot already filled
+	coldFills atomic.Int64 // pair-lookups that had to fill their slot
 }
 
 // New builds the class table for fault set f and the k-round ordering,
@@ -143,6 +151,8 @@ func New(f *mesh.FaultSet, orders routing.MultiOrder, workers int) (*Table, erro
 			t.r2 = t.r1
 		}
 		t.desSets = delta2.Sets
+		t.d1Sets = delta1.Sets
+		t.s2Sets = sigma2.Sets
 
 		// Enumerate the via cells and the intersection matrix I in one
 		// pass; cells are ordered by (des1, ses2) so every build is
@@ -163,14 +173,15 @@ func New(f *mesh.FaultSet, orders routing.MultiOrder, workers int) (*Table, erro
 		}
 		t.rk = bitmat.MulChainParallel(workers, t.r1, im, t.r2)
 		t.slots = make([]atomic.Pointer[pairVias], len(t.sesSets)*len(t.desSets))
+		t.hits = make([]atomic.Uint32, len(t.slots))
 	}
 
-	if t.sesCls, err = newClassifier(m, t.sesSets, pi1); err != nil {
+	if t.sesCls, err = partition.NewClassifier(m, t.sesSets, pi1); err != nil {
 		return nil, err
 	}
 	// DESs are found as SESs of the reversed ordering, so their rects are
 	// ascending-canonical in the reversed working order.
-	if t.desCls, err = newClassifier(m, t.desSets, orders[k-1].Reverse()); err != nil {
+	if t.desCls, err = partition.NewClassifier(m, t.desSets, orders[k-1].Reverse()); err != nil {
 		return nil, err
 	}
 	return t, nil
@@ -224,6 +235,17 @@ type Result struct {
 	Turns int
 }
 
+// Clone returns a copy of r whose Via no longer aliases any Scratch buffer,
+// so it stays valid after the Scratch's next Lookup (or its return to a
+// pool). Callers that retain a Result past the lifetime of the Scratch they
+// passed to Lookup must Clone it first.
+func (r Result) Clone() Result {
+	if r.Via != nil {
+		r.Via = r.Via.Clone()
+	}
+	return r
+}
+
 // Scratch holds the per-goroutine buffers of the query path, so a warm
 // Lookup allocates nothing. The zero value is ready; a Scratch must not be
 // shared between concurrent Lookups.
@@ -247,7 +269,7 @@ func (q *Scratch) grow(d int) {
 // ClassOf returns the SES and DES class indices of c (-1 where c is
 // faulty). Exposed for tests and stats; Lookup inlines the same walk.
 func (t *Table) ClassOf(c mesh.Coord) (ses, des int) {
-	return t.sesCls.classify(c), t.desCls.classify(c)
+	return t.sesCls.Classify(c), t.desCls.Classify(c)
 }
 
 // Classes returns the class-pair dimensions (|SES partition|, |DES
@@ -264,11 +286,11 @@ func (t *Table) Classes() (ses, des int) { return len(t.sesSets), len(t.desSets)
 // that reuses the same Scratch. Callers that need the via longer must
 // Clone it.
 func (t *Table) Lookup(src, dst mesh.Coord, q *Scratch) Result {
-	i := t.sesCls.classify(src)
+	i := t.sesCls.Classify(src)
 	if i < 0 {
 		return Result{Code: CodeSrcFault}
 	}
-	j := t.desCls.classify(dst)
+	j := t.desCls.Classify(dst)
 	if j < 0 {
 		return Result{Code: CodeDstFault}
 	}
@@ -288,12 +310,26 @@ func (t *Table) Lookup(src, dst mesh.Coord, q *Scratch) Result {
 // pairCells returns the feasible-cell list of class pair (i,j), computing
 // and publishing it on first use. Concurrent first uses race benignly: the
 // computation is deterministic, so every contender publishes an identical
-// list.
+// list. It also maintains the per-slot hit counter (NewFrom's prefill
+// ranking) and the warm/cold counters behind the post-swap warm-hit ratio.
 func (t *Table) pairCells(i, j int) []int32 {
-	slot := &t.slots[i*len(t.desSets)+j]
+	s := i*len(t.desSets) + j
+	t.hits[s].Add(1)
+	slot := &t.slots[s]
 	if p := slot.Load(); p != nil {
+		t.warmHits.Add(1)
 		return p.cells
 	}
+	list := t.scanCells(i, j)
+	slot.Store(&pairVias{cells: list})
+	t.filled.Add(1)
+	t.coldFills.Add(1)
+	return list
+}
+
+// scanCells computes the feasible-cell list of class pair (i,j) by scanning
+// every via cell. Deterministic: ascending in cell index.
+func (t *Table) scanCells(i, j int) []int32 {
 	list := make([]int32, 0, 8)
 	for ci := range t.cells {
 		c := &t.cells[ci]
@@ -301,8 +337,6 @@ func (t *Table) pairCells(i, j int) []int32 {
 			list = append(list, int32(ci))
 		}
 	}
-	slot.Store(&pairVias{cells: list})
-	t.filled.Add(1)
 	return list
 }
 
@@ -415,6 +449,9 @@ type Stats struct {
 	Pairs       int   // SESs * DESs: slots in the compressed table
 	Cells       int   // nonempty DES_1 x SES_2 via cells (k == 2)
 	FilledSlots int   // class pairs whose via list has been demanded
+	WarmSlots   int64 // slots filled at build time by NewFrom carry-over
+	WarmHits    int64 // pair-lookups served from an already-filled slot
+	ColdFills   int64 // pair-lookups that paid a first-use slot fill
 	Bytes       int64 // approximate resident size of the table
 }
 
@@ -427,8 +464,11 @@ func (t *Table) Stats() Stats {
 		Pairs:       len(t.sesSets) * len(t.desSets),
 		Cells:       len(t.cells),
 		FilledSlots: int(t.filled.Load()),
+		WarmSlots:   t.warmSlots,
+		WarmHits:    t.warmHits.Load(),
+		ColdFills:   t.coldFills.Load(),
 	}
-	b := int64(t.sesCls.memBytes() + t.desCls.memBytes())
+	b := int64(t.sesCls.MemBytes() + t.desCls.MemBytes())
 	b += int64((len(t.sesSets) + len(t.desSets)) * (t.d*16 + t.d*8 + 32)) // Set: rect intervals + rep coord + headers
 	b += matBytes(t.rk)
 	if t.k == 2 {
@@ -440,6 +480,7 @@ func (t *Table) Stats() Stats {
 		}
 		b += int64(len(t.cells)) * int64(t.d*16+24)
 		b += int64(len(t.slots)) * 8
+		b += int64(len(t.hits)) * 4
 		for i := range t.slots {
 			if p := t.slots[i].Load(); p != nil {
 				b += int64(len(p.cells))*4 + 24

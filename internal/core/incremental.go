@@ -1,0 +1,388 @@
+package core
+
+import (
+	"time"
+
+	"lambmesh/internal/bitmat"
+	"lambmesh/internal/mesh"
+	"lambmesh/internal/par"
+	"lambmesh/internal/partition"
+	"lambmesh/internal/reach"
+	"lambmesh/internal/routing"
+)
+
+// PhaseTimes splits one lamb recomputation into pipeline phases, the
+// latency breakdown lambd's /metrics exposes. The lamb set itself is
+// independent of how the time divides.
+type PhaseTimes struct {
+	Partition time.Duration // SES/DES partition construction or maintenance
+	Reach     time.Duration // oracle + R/I fills (or patches) + R^(k) chain
+	VCover    time.Duration // zero rows/cols, WVC min-cut, result assembly
+	Total     time.Duration
+	// Incremental reports whether the delta-patch path produced the result
+	// (false: full from-scratch pipeline).
+	Incremental bool
+}
+
+// DefaultIncrementalThreshold is the fault-delta size above which AddFaults
+// abandons the incremental patch and recomputes from scratch. Patch cost
+// grows with the delta (every surviving R entry is re-checked against each
+// new fault) while the full pipeline's cost is delta-independent, so large
+// batches are cheaper cold; 32 keeps the patch comfortably on the winning
+// side for the single-fault and small-burst events reconfiguration sees.
+const DefaultIncrementalThreshold = 32
+
+// incRound is the warm state of one distinct per-round ordering: the
+// incremental partition finders, the current partitions, classifiers over
+// them (to locate a new set inside the *previous* partition), and the
+// current one-round matrix with its double buffer.
+type incRound struct {
+	pi                 routing.Order
+	sigmaInc, deltaInc *partition.Incremental
+	sigma, delta       *partition.Partition
+	sigmaCls, deltaCls *partition.Classifier
+	r, rSpare          *bitmat.Matrix
+}
+
+// incState is the Reconfigurer's carry-over between generations.
+type incState struct {
+	rounds  []*incRound // distinct orderings, first-appearance order
+	roundOf []*incRound // per round t (aliases rounds entries)
+
+	// I-matrix pair deduplication, mirroring reach.ComputeScratch: iof[t]
+	// indexes ims for round gap t; ipairT[di] is the first such t.
+	iof    []int
+	ipairT []int
+	ims    []*bitmat.Matrix
+
+	chain   [2]*bitmat.Matrix
+	chainMs []*bitmat.Matrix
+
+	rowOld, colOld []int // new-set -> old-set index scratch
+}
+
+// warmInc (re)builds the incremental carry-over from a just-completed full
+// solve: fresh incremental partition finders replay the entire fault set
+// (deterministic, so their partitions match rc's), classifiers index the
+// resulting sets, and the one-round matrices are cloned out of rc (the
+// originals live in solver scratch and will be recycled). A nil result
+// state simply means the next AddFaults goes through the full pipeline.
+func (r *Reconfigurer) warmInc(rc *reach.Reachability) {
+	r.inc = nil
+	m := r.faults.Mesh()
+	k := r.orders.Rounds()
+	st := &incState{roundOf: make([]*incRound, k)}
+	byKey := map[string]*incRound{}
+	for t := 0; t < k; t++ {
+		key := r.orders[t].String()
+		rd := byKey[key]
+		if rd == nil {
+			rd = &incRound{pi: r.orders[t]}
+			var err error
+			if rd.sigmaInc, err = partition.NewIncremental(m, rd.pi, partition.Source); err != nil {
+				return
+			}
+			if rd.deltaInc, err = partition.NewIncremental(m, rd.pi, partition.Destination); err != nil {
+				return
+			}
+			rd.sigma = rd.sigmaInc.Update(r.faults.NodeFaults(), r.faults.LinkFaults())
+			rd.delta = rd.deltaInc.Update(r.faults.NodeFaults(), r.faults.LinkFaults())
+			// The incremental finders must agree with the full pipeline's
+			// partitions — both are deterministic on the same fault set.
+			if rd.sigma.Len() != rc.R[t].Rows() || rd.delta.Len() != rc.R[t].Cols() {
+				return
+			}
+			rd.r = rc.R[t].Clone()
+			if rd.sigmaCls, err = partition.NewClassifier(m, rd.sigma.Sets, rd.pi); err != nil {
+				return
+			}
+			if rd.deltaCls, err = partition.NewClassifier(m, rd.delta.Sets, rd.pi.Reverse()); err != nil {
+				return
+			}
+			byKey[key] = rd
+			st.rounds = append(st.rounds, rd)
+		}
+		st.roundOf[t] = rd
+	}
+	st.iof = make([]int, k-1)
+	ipair := map[[2]string]int{}
+	for t := 0; t < k-1; t++ {
+		key := [2]string{r.orders[t].String(), r.orders[t+1].String()}
+		di, ok := ipair[key]
+		if !ok {
+			di = len(st.ims)
+			ipair[key] = di
+			st.ims = append(st.ims, nil)
+			st.ipairT = append(st.ipairT, t)
+		}
+		st.iof[t] = di
+	}
+	r.inc = st
+}
+
+// incrementalSolve recomputes the lamb set after a small fault delta by
+// patching the warm state instead of rebuilding it:
+//
+//   - Partitions: each per-round SES/DES partition is maintained by its
+//     partition.Incremental, which recomputes only the top-level slices the
+//     delta dirties.
+//   - One-round matrices: fault growth is monotone and the new partition
+//     refines the old, so each new representative classifies into exactly
+//     one old set (it is good under the new faults, hence under the old).
+//     Where the old entry is 0, the new entry is 0 (reachability only
+//     shrinks). Where it is 1, Lemma 4.1 says the old-set member pair — in
+//     particular the new representative pair — had a fault-free
+//     dimension-ordered path; that unique path stays fault-free iff it
+//     avoids the delta, an O(|delta| d) geometric test with no oracle.
+//   - I matrices and the R^(k) chain are rebuilt from the patched parts
+//     (they are a small fraction of the full pipeline), and the WVC tail is
+//     the byte-identical shared lamb1FromReach.
+//
+// Any defensive invariant miss falls back to the full pipeline, which also
+// re-warms the state.
+func (r *Reconfigurer) incrementalSolve(dn []mesh.Coord, dl []mesh.Link, opts []Option) (*Result, error) {
+	cfg := buildConfig(opts)
+	if err := validateConfig(r.faults, cfg); err != nil {
+		return nil, err
+	}
+	if cfg.sweep || cfg.keepReach {
+		// The patch path neither sweeps nor hands out its internal matrices.
+		return r.fullSolve(opts)
+	}
+	st := r.inc
+	workers := par.Clamp(cfg.workers)
+	start := time.Now()
+
+	type prevRound struct {
+		sigmaCls, deltaCls *partition.Classifier
+		r                  *bitmat.Matrix
+	}
+	prev := make([]prevRound, len(st.rounds))
+	for n, rd := range st.rounds {
+		prev[n] = prevRound{rd.sigmaCls, rd.deltaCls, rd.r}
+		rd.sigma = rd.sigmaInc.Update(dn, dl)
+		rd.delta = rd.deltaInc.Update(dn, dl)
+	}
+	partElapsed := time.Since(start)
+
+	for n, rd := range st.rounds {
+		S, D := rd.sigma.Len(), rd.delta.Len()
+		st.rowOld = growInts(st.rowOld, S)
+		st.colOld = growInts(st.colOld, D)
+		for i := 0; i < S; i++ {
+			if st.rowOld[i] = prev[n].sigmaCls.Classify(rd.sigma.Sets[i].Rep); st.rowOld[i] < 0 {
+				return r.fullSolve(opts)
+			}
+		}
+		for j := 0; j < D; j++ {
+			if st.colOld[j] = prev[n].deltaCls.Classify(rd.delta.Sets[j].Rep); st.colOld[j] < 0 {
+				return r.fullSolve(opts)
+			}
+		}
+		nr := rd.rSpare.Reset(S, D)
+		oldR := prev[n].r
+		pi, sigma, delta := rd.pi, rd.sigma, rd.delta
+		rowOld, colOld := st.rowOld, st.colOld
+		par.Do(workers, S, func(i int) {
+			v := sigma.Sets[i].Rep
+			io := rowOld[i]
+			for j := 0; j < D; j++ {
+				if !oldR.Get(io, colOld[j]) {
+					continue
+				}
+				if !pathHitsFaults(pi, v, delta.Sets[j].Rep, dn, dl) {
+					nr.Set(i, j)
+				}
+			}
+		})
+		rd.r, rd.rSpare = nr, prev[n].r
+		var err error
+		if rd.sigmaCls, err = partition.NewClassifier(r.faults.Mesh(), sigma.Sets, pi); err != nil {
+			return r.fullSolve(opts)
+		}
+		if rd.deltaCls, err = partition.NewClassifier(r.faults.Mesh(), delta.Sets, pi.Reverse()); err != nil {
+			return r.fullSolve(opts)
+		}
+	}
+
+	// Rebuild the (cheap) intersection matrices and the R^(k) chain over
+	// the patched parts, with the same pair deduplication as the full path.
+	k := r.orders.Rounds()
+	for di := range st.ims {
+		t := st.ipairT[di]
+		dlt, sg := st.roundOf[t].delta, st.roundOf[t+1].sigma
+		im := st.ims[di].Reset(dlt.Len(), sg.Len())
+		st.ims[di] = im
+		par.Do(workers, dlt.Len(), func(j int) {
+			dj := dlt.Sets[j]
+			for i2, s2 := range sg.Sets {
+				if dj.Rect.Intersects(s2.Rect) {
+					im.Set(j, i2)
+				}
+			}
+		})
+	}
+	rc := &reach.Reachability{
+		Orders: r.orders,
+		Sigma:  make([]*partition.Partition, k),
+		Delta:  make([]*partition.Partition, k),
+		R:      make([]*bitmat.Matrix, k),
+		I:      make([]*bitmat.Matrix, k-1),
+	}
+	for t := 0; t < k; t++ {
+		rc.Sigma[t] = st.roundOf[t].sigma
+		rc.Delta[t] = st.roundOf[t].delta
+		rc.R[t] = st.roundOf[t].r
+	}
+	st.chainMs = append(st.chainMs[:0], rc.R[0])
+	for t := 0; t < k-1; t++ {
+		rc.I[t] = st.ims[st.iof[t]]
+		st.chainMs = append(st.chainMs, rc.I[t], rc.R[t+1])
+	}
+	rc.RK = bitmat.MulChainScratch(workers, &st.chain, st.chainMs...)
+	reachElapsed := time.Since(start) - partElapsed
+
+	res, err := r.solver.lamb1FromReach(r.faults, r.orders, cfg, rc)
+	if err != nil {
+		return nil, err
+	}
+	total := time.Since(start)
+	r.phases = PhaseTimes{
+		Partition:   partElapsed,
+		Reach:       reachElapsed,
+		VCover:      total - partElapsed - reachElapsed,
+		Total:       total,
+		Incremental: true,
+	}
+	return res, nil
+}
+
+// fullSolve runs the from-scratch pipeline and re-warms the incremental
+// state from its intermediates.
+func (r *Reconfigurer) fullSolve(opts []Option) (*Result, error) {
+	cfg := buildConfig(opts)
+	if err := validateConfig(r.faults, cfg); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	rc, err := reach.ComputeScratch(r.faults, r.orders, cfg.workers, &r.solver.rs)
+	if err != nil {
+		r.inc = nil
+		return nil, err
+	}
+	reachElapsed := time.Since(start)
+	res, err := r.solver.lamb1FromReach(r.faults, r.orders, cfg, rc)
+	if err != nil {
+		r.inc = nil
+		return nil, err
+	}
+	part := time.Duration(r.solver.rs.PartitionNanos)
+	r.phases = PhaseTimes{
+		Partition: part,
+		Reach:     reachElapsed - part,
+		VCover:    time.Since(start) - reachElapsed,
+		Total:     time.Since(start),
+	}
+	if r.IncrementalThreshold > 0 {
+		r.warmInc(rc)
+	} else {
+		r.inc = nil
+	}
+	return res, nil
+}
+
+// pathHitsFaults reports whether the pi-ordered path v -> w traverses any
+// of the given node or link faults. O((|nodes| + |links|) d).
+func pathHitsFaults(pi routing.Order, v, w mesh.Coord, nodes []mesh.Coord, links []mesh.Link) bool {
+	for _, x := range nodes {
+		if nodeOnPath(pi, v, w, x) {
+			return true
+		}
+	}
+	for _, l := range links {
+		if linkOnPath(pi, v, w, l) {
+			return true
+		}
+	}
+	return false
+}
+
+// nodeOnPath reports whether x lies on the dimension-ordered path v -> w
+// under pi: for some segment t, x agrees with w on the already-corrected
+// dimensions pi[0..t-1], with v on the not-yet-corrected pi[t+1..], and its
+// pi[t] coordinate lies within the segment's span (endpoints inclusive).
+func nodeOnPath(pi routing.Order, v, w, x mesh.Coord) bool {
+	d := len(pi)
+	pw := 0 // longest prefix of pi on which x matches w
+	for pw < d && x[pi[pw]] == w[pi[pw]] {
+		pw++
+	}
+	sv := d // smallest s with x matching v on pi[s..d-1]
+	for sv > 0 && x[pi[sv-1]] == v[pi[sv-1]] {
+		sv--
+	}
+	for t := 0; t <= pw && t < d; t++ {
+		if sv > t+1 {
+			continue
+		}
+		dim := pi[t]
+		lo, hi := v[dim], w[dim]
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if x[dim] >= lo && x[dim] <= hi {
+			return true
+		}
+	}
+	return false
+}
+
+// linkOnPath reports whether the path traverses the directed link l: the
+// path travels l.Dim in l's direction, the tail agrees with w before that
+// segment and with v after it, and the tail coordinate is one of the
+// positions the segment departs from.
+func linkOnPath(pi routing.Order, v, w mesh.Coord, l mesh.Link) bool {
+	d := len(pi)
+	t := 0
+	for t < d && pi[t] != l.Dim {
+		t++
+	}
+	if t == d {
+		return false
+	}
+	dim := l.Dim
+	if v[dim] == w[dim] {
+		return false // empty segment: no travel along dim
+	}
+	dir := 1
+	if w[dim] < v[dim] {
+		dir = -1
+	}
+	if l.Dir != dir {
+		return false
+	}
+	for s := 0; s < t; s++ {
+		if l.From[pi[s]] != w[pi[s]] {
+			return false
+		}
+	}
+	for s := t + 1; s < d; s++ {
+		if l.From[pi[s]] != v[pi[s]] {
+			return false
+		}
+	}
+	c := l.From[dim]
+	if dir > 0 {
+		return c >= v[dim] && c < w[dim]
+	}
+	return c <= v[dim] && c > w[dim]
+}
+
+// growInts reslices b to n ints, reallocating only on growth. Entries are
+// not zeroed; callers overwrite every index.
+func growInts(b []int, n int) []int {
+	if cap(b) < n {
+		return make([]int, n)
+	}
+	return b[:n]
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"lambmesh/internal/mesh"
+	"lambmesh/internal/routing"
+)
+
+// sameLambs compares two lamb sets for byte identity: same coordinates in
+// the same emitted order. The incremental path promises exactly the full
+// pipeline's output, not just an equivalent cover.
+func sameLambs(t *testing.T, got, want []mesh.Coord, ctx string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d lambs != %d\ngot  %v\nwant %v", ctx, len(got), len(want), got, want)
+	}
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("%s: lamb %d = %v, want %v", ctx, i, got[i], want[i])
+		}
+	}
+}
+
+// growthStep draws a random fault delta of the given size, skipping faults
+// already present in ref.
+func growthStep(m *mesh.Mesh, ref *mesh.FaultSet, rng *rand.Rand, size int) ([]mesh.Coord, []mesh.Link) {
+	var dn []mesh.Coord
+	var dl []mesh.Link
+	for i := 0; i < size; i++ {
+		if rng.Intn(3) == 0 {
+			for tries := 0; tries < 80; tries++ {
+				c := m.CoordOf(rng.Int63n(m.Nodes()))
+				dim := rng.Intn(m.Dims())
+				dir := 1 - 2*rng.Intn(2)
+				l := mesh.Link{From: c, Dim: dim, Dir: dir}
+				if _, ok := m.Neighbor(c, dim, dir); ok && !ref.LinkFaulty(l) {
+					ref.AddLink(l)
+					dl = append(dl, l)
+					break
+				}
+			}
+		} else {
+			for tries := 0; tries < 80; tries++ {
+				c := m.CoordOf(rng.Int63n(m.Nodes()))
+				if !ref.NodeFaulty(c) {
+					ref.AddNode(c)
+					dn = append(dn, c)
+					break
+				}
+			}
+		}
+	}
+	return dn, dl
+}
+
+// The tentpole pin: across randomized fault-growth sequences — 2D and 3D
+// meshes, node and link faults, KeepLambs on and off, workers 1 and
+// NumCPU — every generation's incremental lamb set is byte-identical to a
+// full-pipeline Reconfigurer fed the same deltas. Run under -race this
+// also exercises the patched matrix fills' parallelism.
+func TestIncrementalAddFaultsMatchesFull(t *testing.T) {
+	type scenario struct {
+		widths    []int
+		orders    routing.MultiOrder
+		keepLambs bool
+	}
+	scenarios := []scenario{
+		{[]int{12, 12}, routing.UniformAscending(2, 2), true},
+		{[]int{12, 12}, routing.MultiOrder{{0, 1}, {1, 0}}, false},
+		{[]int{10, 10}, routing.MultiOrder{{1, 0}}, false},
+		{[]int{5, 5, 5}, routing.UniformAscending(3, 2), true},
+		{[]int{4, 5, 6}, routing.MultiOrder{{2, 0, 1}, {1, 2, 0}}, false},
+	}
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		for si, sc := range scenarios {
+			rng := rand.New(rand.NewSource(int64(1000 + si)))
+			m := mesh.MustNew(sc.widths...)
+			inc, err := NewReconfigurer(m, sc.orders, sc.keepLambs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inc.Workers = workers
+			full, err := NewReconfigurer(m, sc.orders, sc.keepLambs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			full.Workers = workers
+			full.IncrementalThreshold = 0 // always the from-scratch pipeline
+
+			ref := mesh.NewFaultSet(m) // dedup tracker for delta generation
+			for gen := 0; gen < 7; gen++ {
+				dn, dl := growthStep(m, ref, rng, 1+rng.Intn(3))
+				ri, err := inc.AddFaults(dn, dl)
+				if err != nil {
+					t.Fatalf("scenario %d gen %d incremental: %v", si, gen, err)
+				}
+				rf, err := full.AddFaults(dn, dl)
+				if err != nil {
+					t.Fatalf("scenario %d gen %d full: %v", si, gen, err)
+				}
+				sameLambs(t, ri.Lambs, rf.Lambs,
+					"scenario "+string(rune('a'+si)))
+				if ri.Stats != rf.Stats {
+					t.Fatalf("scenario %d gen %d: stats diverge\ninc  %+v\nfull %+v",
+						si, gen, ri.Stats, rf.Stats)
+				}
+				if gen >= 1 && !inc.LastPhases().Incremental {
+					t.Fatalf("scenario %d gen %d: expected the incremental path", si, gen)
+				}
+				if full.LastPhases().Incremental {
+					t.Fatal("threshold 0 must disable the incremental path")
+				}
+				if err := VerifyLambSet(inc.Faults(), sc.orders, ri.Lambs); err != nil {
+					t.Fatalf("scenario %d gen %d: %v", si, gen, err)
+				}
+			}
+		}
+	}
+}
+
+// A delta larger than the threshold recomputes from scratch — and re-warms,
+// so the following small delta is incremental again.
+func TestIncrementalThresholdFallback(t *testing.T) {
+	m := mesh.MustNew(12, 12)
+	orders := routing.UniformAscending(2, 2)
+	r, err := NewReconfigurer(m, orders, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.IncrementalThreshold = 2
+	if _, err := r.AddFaults([]mesh.Coord{mesh.C(1, 1)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if r.LastPhases().Incremental {
+		t.Fatal("generation 1 has no warm state; must be a full solve")
+	}
+	// Delta of 3 > threshold 2: full.
+	if _, err := r.AddFaults([]mesh.Coord{mesh.C(3, 3), mesh.C(5, 5), mesh.C(7, 7)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if r.LastPhases().Incremental {
+		t.Fatal("over-threshold delta must fall back to the full pipeline")
+	}
+	// Small delta after the full solve: warm again.
+	if _, err := r.AddFaults([]mesh.Coord{mesh.C(9, 9)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !r.LastPhases().Incremental {
+		t.Fatal("full solve should re-warm the incremental state")
+	}
+	if r.LastPhases().Total <= 0 {
+		t.Fatal("phase totals should be positive")
+	}
+}
+
+// Duplicate faults are excluded from the delta: re-reporting known faults
+// is a zero-delta incremental recompute with an unchanged lamb set.
+func TestIncrementalDuplicateFaults(t *testing.T) {
+	m := mesh.MustNew(12, 12)
+	orders := routing.UniformAscending(2, 2)
+	r, err := NewReconfigurer(m, orders, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := []mesh.Coord{mesh.C(9, 1), mesh.C(11, 6), mesh.C(10, 10)}
+	res1, err := r.AddFaults(first, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := r.AddFaults(first, nil) // all duplicates
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameLambs(t, res2.Lambs, res1.Lambs, "duplicate delta")
+	if !r.LastPhases().Incremental {
+		t.Fatal("zero genuine delta should ride the incremental path")
+	}
+	if r.Faults().Count() != 3 {
+		t.Fatalf("fault count = %d, want 3", r.Faults().Count())
+	}
+}
+
+// Options the patch path cannot honor (reachability retention) silently use
+// the full pipeline; phase observability still works for plain Lamb1.
+func TestSolverPhases(t *testing.T) {
+	m := mesh.MustNew(12, 12)
+	f := mesh.NewFaultSet(m)
+	f.AddNodes(mesh.C(9, 1), mesh.C(11, 6))
+	s := NewSolver()
+	if _, err := s.Lamb1(f, routing.UniformAscending(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	ph := s.LastPhases()
+	if ph.Total <= 0 || ph.Incremental {
+		t.Fatalf("phases = %+v", ph)
+	}
+	if ph.Partition+ph.Reach+ph.VCover > ph.Total {
+		t.Fatalf("phase sum exceeds total: %+v", ph)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"lambmesh/internal/mesh"
 	"lambmesh/internal/reach"
@@ -36,6 +37,7 @@ func (s *Solver) Lamb1(f *mesh.FaultSet, orders routing.MultiOrder, opts ...Opti
 	if err := validateConfig(f, cfg); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	var rc *reach.Reachability
 	var err error
 	if cfg.sweep {
@@ -46,6 +48,27 @@ func (s *Solver) Lamb1(f *mesh.FaultSet, orders routing.MultiOrder, opts ...Opti
 	if err != nil {
 		return nil, err
 	}
+	reachElapsed := time.Since(start)
+	res, err := s.lamb1FromReach(f, orders, cfg, rc)
+	if err != nil {
+		return nil, err
+	}
+	part := time.Duration(s.rs.PartitionNanos)
+	s.phases = PhaseTimes{
+		Partition: part,
+		Reach:     reachElapsed - part,
+		VCover:    time.Since(start) - reachElapsed,
+		Total:     time.Since(start),
+	}
+	return res, nil
+}
+
+// lamb1FromReach is Lamb1's back half: the WVC reduction over an
+// already-computed Reachability. Shared between the full pipeline above and
+// the incremental patch path (incremental.go), which assembles rc from
+// carried-over partitions and patched matrices — the reduction itself is
+// oblivious to where R^(k) came from.
+func (s *Solver) lamb1FromReach(f *mesh.FaultSet, orders routing.MultiOrder, cfg *config, rc *reach.Reachability) (*Result, error) {
 	sigma := rc.Sigma[0]
 	delta := rc.Delta[len(rc.Delta)-1]
 

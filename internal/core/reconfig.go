@@ -15,6 +15,14 @@ import (
 // forced to contain the previous one (via the Section 7 predetermined-lamb
 // extension), so nodes never oscillate back from lamb to survivor — an
 // operational property reconfiguration protocols usually want.
+//
+// Because fault growth is monotone, successive recomputations share almost
+// all of their work: the Reconfigurer keeps the previous generation's
+// partitions, classifiers, and one-round matrices warm and patches only
+// what the fault delta touches (incremental.go), falling back to the full
+// pipeline when the delta exceeds IncrementalThreshold or an option the
+// patch path cannot honor is requested. Both paths produce byte-identical
+// lamb sets.
 type Reconfigurer struct {
 	faults *mesh.FaultSet
 	orders routing.MultiOrder
@@ -25,12 +33,23 @@ type Reconfigurer struct {
 	// run on; <= 0 means NumCPU. The lamb set is identical for any value —
 	// this only trades recompute latency against CPU share.
 	Workers int
+	// IncrementalThreshold is the largest fault delta AddFaults will patch
+	// incrementally; larger batches (and values <= 0, which disable the
+	// incremental path entirely) recompute from scratch. Defaults to
+	// DefaultIncrementalThreshold.
+	IncrementalThreshold int
 	// generation counts completed reconfigurations.
 	generation int
 	// solver carries the lamb pipeline's scratch across recomputes; created
 	// lazily, used only by AddFaults (callers drive a Reconfigurer from one
 	// goroutine, e.g. the lambd apply worker).
 	solver *Solver
+	// inc is the warm incremental state of the previous generation; nil
+	// until the first successful recompute (or after an error, which
+	// invalidates it).
+	inc *incState
+	// phases is the phase split of the last AddFaults recompute.
+	phases PhaseTimes
 }
 
 // NewReconfigurer starts with a fault-free mesh and an empty lamb set.
@@ -42,9 +61,10 @@ func NewReconfigurer(m *mesh.Mesh, orders routing.MultiOrder, keepLambs bool) (*
 		return nil, fmt.Errorf("core: Reconfigurer uses the mesh algorithms; tori need the generic path")
 	}
 	return &Reconfigurer{
-		faults:    mesh.NewFaultSet(m),
-		orders:    orders,
-		KeepLambs: keepLambs,
+		faults:               mesh.NewFaultSet(m),
+		orders:               orders,
+		KeepLambs:            keepLambs,
+		IncrementalThreshold: DefaultIncrementalThreshold,
 	}, nil
 }
 
@@ -57,19 +77,39 @@ func (r *Reconfigurer) Lambs() []mesh.Coord { return r.lambs }
 // Generation returns how many reconfigurations have completed.
 func (r *Reconfigurer) Generation() int { return r.generation }
 
+// LastPhases returns the phase split of the most recent AddFaults
+// recompute (zero before the first).
+func (r *Reconfigurer) LastPhases() PhaseTimes { return r.phases }
+
 // AddFaults folds newly detected faults into the configuration and
 // recomputes the lamb set with Lamb1. A node that was a lamb and has now
 // failed outright simply moves from the lamb set to the fault set. The
 // returned Result reflects the new configuration.
+//
+// When the genuine delta (faults not already present) is at most
+// IncrementalThreshold and warm state from the previous generation exists,
+// the recompute patches that state instead of running the full pipeline;
+// the lamb set is byte-identical either way.
 func (r *Reconfigurer) AddFaults(nodes []mesh.Coord, links []mesh.Link) (*Result, error) {
+	// Collect the genuine delta before mutating the fault set: the
+	// incremental path re-checks surviving reachability entries against
+	// exactly these, and duplicates would only slow that down.
+	var dn []mesh.Coord
+	var dl []mesh.Link
 	for _, c := range nodes {
 		if !r.faults.Mesh().Contains(c) {
 			return nil, fmt.Errorf("core: new fault %v outside mesh", c)
 		}
-		r.faults.AddNode(c)
+		if !r.faults.NodeFaulty(c) {
+			dn = append(dn, c)
+			r.faults.AddNode(c)
+		}
 	}
 	for _, l := range links {
-		r.faults.AddLink(l)
+		if !r.faults.LinkFaulty(l) {
+			dl = append(dl, l)
+			r.faults.AddLink(l) // panics on invalid links, as before
+		}
 	}
 	opts := []Option{WithWorkers(r.Workers)}
 	if r.KeepLambs {
@@ -85,8 +125,15 @@ func (r *Reconfigurer) AddFaults(nodes []mesh.Coord, links []mesh.Link) (*Result
 	if r.solver == nil {
 		r.solver = NewSolver()
 	}
-	res, err := r.solver.Lamb1(r.faults, r.orders, opts...)
+	var res *Result
+	var err error
+	if r.inc != nil && r.IncrementalThreshold > 0 && len(dn)+len(dl) <= r.IncrementalThreshold {
+		res, err = r.incrementalSolve(dn, dl, opts)
+	} else {
+		res, err = r.fullSolve(opts)
+	}
 	if err != nil {
+		r.inc = nil // warm state may be half-patched; rebuild next time
 		return nil, err
 	}
 	r.lambs = res.Lambs

@@ -39,7 +39,14 @@ type Solver struct {
 	verts  []intersection
 	forced []bool
 	gg     vcover.General
+
+	// phases is the phase split of the last Lamb1 call (observability; the
+	// lambs themselves are independent of it).
+	phases PhaseTimes
 }
+
+// LastPhases returns the phase split of the most recent Lamb1 call.
+func (s *Solver) LastPhases() PhaseTimes { return s.phases }
 
 // intersection identifies the nonempty SES x DES intersection u_{i,j} of the
 // Lamb2 reduction.

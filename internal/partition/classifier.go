@@ -1,16 +1,15 @@
-package classtable
+package partition
 
 import (
 	"fmt"
 	"sort"
 
 	"lambmesh/internal/mesh"
-	"lambmesh/internal/partition"
 	"lambmesh/internal/rect"
 	"lambmesh/internal/routing"
 )
 
-// classifier answers "which SES (or DES) does this node belong to?" in
+// Classifier answers "which SES (or DES) does this node belong to?" in
 // O(d log f) time. It exploits the shape guarantee of Find-SES-Partition
 // (Section 6.1): in working coordinates w[t] = c[order[t]], every set is
 // (*,...,*,[l,r],c,...,c) — so classification is a walk down a d-level
@@ -21,7 +20,7 @@ import (
 // hits neither (the node is faulty — the partition covers exactly the good
 // nodes). Each level has at most 2f+1 entries, so a lookup costs
 // O(d log f), independent of the mesh size.
-type classifier struct {
+type Classifier struct {
 	m     *mesh.Mesh
 	order routing.Order // working order: depth t dispatches on order[d-1-t]
 	root  clsNode
@@ -43,11 +42,11 @@ type clsEntry struct {
 	child  *clsNode
 }
 
-// newClassifier indexes the sets of a partition whose working order is
+// NewClassifier indexes the sets of a partition whose working order is
 // workOrder (the 1-round ordering for SESs, its reverse for DESs — the same
-// permutation partition.find computes in).
-func newClassifier(m *mesh.Mesh, sets []partition.Set, workOrder routing.Order) (*classifier, error) {
-	c := &classifier{m: m, order: workOrder}
+// permutation find computes in).
+func NewClassifier(m *mesh.Mesh, sets []Set, workOrder routing.Order) (*Classifier, error) {
+	c := &Classifier{m: m, order: workOrder}
 	for idx, s := range sets {
 		if err := c.insert(&c.root, 0, s.Rect, int32(idx)); err != nil {
 			return nil, err
@@ -61,7 +60,7 @@ func newClassifier(m *mesh.Mesh, sets []partition.Set, workOrder routing.Order) 
 
 // insert places set idx (rect in original coordinates) at depth, descending
 // through its trailing working-dimension constants.
-func (c *classifier) insert(n *clsNode, depth int, r rect.Rect, idx int32) error {
+func (c *Classifier) insert(n *clsNode, depth int, r rect.Rect, idx int32) error {
 	d := c.m.Dims()
 	dim := c.order[d-1-depth]
 	lo, hi := r[dim].Lo, r[dim].Hi
@@ -81,7 +80,7 @@ func (c *classifier) insert(n *clsNode, depth int, r rect.Rect, idx int32) error
 		return nil
 	}
 	if lo != hi {
-		return fmt.Errorf("classtable: set %d has interval [%d,%d] above constrained dims (not partition-shaped)", idx, lo, hi)
+		return fmt.Errorf("partition: set %d has interval [%d,%d] above constrained dims (not partition-shaped)", idx, lo, hi)
 	}
 	for i := range n.entries {
 		e := &n.entries[i]
@@ -97,11 +96,11 @@ func (c *classifier) insert(n *clsNode, depth int, r rect.Rect, idx int32) error
 // finish sorts every level and verifies the intervals are disjoint (a
 // guarantee the partition provides; checked here so a malformed input fails
 // loudly at build time rather than misclassifying at query time).
-func (c *classifier) finish(n *clsNode, depth int) error {
+func (c *Classifier) finish(n *clsNode, depth int) error {
 	sort.Slice(n.entries, func(i, j int) bool { return n.entries[i].lo < n.entries[j].lo })
 	for i := 1; i < len(n.entries); i++ {
 		if n.entries[i].lo <= n.entries[i-1].hi {
-			return fmt.Errorf("classtable: overlapping intervals [%d,%d] and [%d,%d] at depth %d",
+			return fmt.Errorf("partition: overlapping intervals [%d,%d] and [%d,%d] at depth %d",
 				n.entries[i-1].lo, n.entries[i-1].hi, n.entries[i].lo, n.entries[i].hi, depth)
 		}
 	}
@@ -115,9 +114,9 @@ func (c *classifier) finish(n *clsNode, depth int) error {
 	return nil
 }
 
-// classify returns the index of the set containing co, or -1 if co belongs
+// Classify returns the index of the set containing co, or -1 if co belongs
 // to no set (i.e. co is faulty). Allocation-free.
-func (c *classifier) classify(co mesh.Coord) int {
+func (c *Classifier) Classify(co mesh.Coord) int {
 	n := &c.root
 	d := len(c.order)
 	for depth := 0; depth < d; depth++ {
@@ -145,12 +144,12 @@ func (c *classifier) classify(co mesh.Coord) int {
 	return -1
 }
 
-// memBytes estimates the classifier's memory footprint.
-func (c *classifier) memBytes() int {
+// MemBytes estimates the classifier's memory footprint.
+func (c *Classifier) MemBytes() int {
 	return c.nodeBytes(&c.root)
 }
 
-func (c *classifier) nodeBytes(n *clsNode) int {
+func (c *Classifier) nodeBytes(n *clsNode) int {
 	const entrySize = 32 // two ints, an int32 (padded), a pointer
 	b := len(n.entries) * entrySize
 	for i := range n.entries {

@@ -1,0 +1,222 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"lambmesh/internal/mesh"
+	"lambmesh/internal/rect"
+	"lambmesh/internal/routing"
+)
+
+// Incremental maintains one SES or DES partition of a monotonically growing
+// fault set, recomputing only what a fault delta touches. Find-SES-Partition
+// (Figure 11) peels the last-corrected working dimension: each dirty value
+// of that dimension gets an independent recursive sub-partition, and the
+// clean values collapse into full-width runs. A new fault therefore only
+// perturbs the top-level slices holding its own last coordinate (plus, for
+// a link along the last dimension, the two slices it spans) — every other
+// slice's sub-partition is reused verbatim from a memo. The assembled
+// partition is byte-identical to a from-scratch Scratch.SES/DES call: same
+// sets, same order, same representatives (the identity tests pin this).
+//
+// Each Update returns a Partition owning fresh memory, so previously
+// returned partitions stay valid indefinitely — callers diffing epoch N
+// against N+1 (the incremental lamb pipeline) rely on that. An Incremental
+// is not safe for concurrent use.
+type Incremental struct {
+	m    *mesh.Mesh
+	pi   routing.Order
+	kind Kind
+
+	order  routing.Order // working order: pi, or pi.Reverse() for DES
+	rev    bool          // DES: reverse each faulty link's direction
+	widths []int         // widths[t] = m.Width(order[t])
+	inv    []int         // inv[original dim] = working dim
+
+	s Scratch // drives findAscending for dirtied sub-slices
+
+	// Every working-space fault seen so far (owned copies).
+	nodes []mesh.Coord
+	links []mesh.Link
+
+	// memo[c] = owned working-space rects of dirty top-level slice c.
+	memo map[int][]rect.Rect
+
+	touched  map[int]bool // per-Update dirtied slice values (reused)
+	subNodes []mesh.Coord // per-slice gather buffers (reused)
+	subLinks []mesh.Link
+}
+
+// NewIncremental prepares an incremental finder for an initially fault-free
+// mesh. Feed the current faults through Update (all at once, or replaying
+// the growth history — the partition of a fault set does not depend on the
+// arrival order).
+func NewIncremental(m *mesh.Mesh, pi routing.Order, kind Kind) (*Incremental, error) {
+	if m.Torus() {
+		return nil, fmt.Errorf("partition: the rectangular partition algorithm requires a mesh, not a torus (use the generic path)")
+	}
+	if err := pi.Validate(m.Dims()); err != nil {
+		return nil, err
+	}
+	inc := &Incremental{m: m, pi: pi, kind: kind, order: pi, memo: map[int][]rect.Rect{}, touched: map[int]bool{}}
+	if kind == Destination {
+		inc.order = pi.Reverse()
+		inc.rev = true
+	}
+	d := m.Dims()
+	inc.widths = make([]int, d)
+	inc.inv = make([]int, d)
+	for t := 0; t < d; t++ {
+		inc.widths[t] = m.Width(inc.order[t])
+	}
+	for t, dim := range inc.order {
+		inc.inv[dim] = t
+	}
+	return inc, nil
+}
+
+// Update folds genuinely-new faults (the caller deduplicates; coordinates
+// must lie in the mesh) into the maintained fault set and returns the
+// partition of the grown set. The result owns its memory.
+func (inc *Incremental) Update(nodes []mesh.Coord, links []mesh.Link) *Partition {
+	d := len(inc.widths)
+	last := d - 1
+	clear(inc.touched)
+	for _, c := range nodes {
+		w := inc.permuteCoord(c)
+		inc.nodes = append(inc.nodes, w)
+		inc.touched[w[last]] = true
+	}
+	for _, l := range links {
+		wl := inc.permuteLink(l)
+		inc.links = append(inc.links, wl)
+		inc.touched[wl.From[last]] = true
+		if wl.Dim == last {
+			// A link along the last working dimension spans two slices and
+			// dirties both, exactly as findAscending's step 2(a) does.
+			inc.touched[wl.From[last]+wl.Dir] = true
+		}
+	}
+	if d == 1 {
+		// No slicing to memoize at d=1; the base case is O(n) anyway.
+		inc.s.tmpInts.reset()
+		inc.s.tmpIvals.reset()
+		return inc.convert(inc.s.findAscending(0, inc.widths, inc.nodes, inc.links))
+	}
+
+	// Recompute the dirtied slices' sub-partitions from the full fault
+	// lists (a slice's sub-faults are order-independent inputs, so the
+	// result matches what a cold top-level recursion would produce).
+	inc.s.tmpInts.reset()
+	inc.s.tmpIvals.reset()
+	for c := range inc.touched {
+		inc.subNodes = inc.subNodes[:0]
+		for _, v := range inc.nodes {
+			if v[last] == c {
+				inc.subNodes = append(inc.subNodes, v[:last])
+			}
+		}
+		inc.subLinks = inc.subLinks[:0]
+		for _, l := range inc.links {
+			if l.Dim != last && l.From[last] == c {
+				inc.subLinks = append(inc.subLinks, mesh.Link{From: l.From[:last], Dim: l.Dim, Dir: l.Dir})
+			}
+		}
+		work := inc.s.findAscending(1, inc.widths[:last], inc.subNodes, inc.subLinks)
+		rects := make([]rect.Rect, len(work))
+		backing := make([]rect.Interval, len(work)*d)
+		for wi, sub := range work {
+			r := rect.Rect(backing[wi*d : (wi+1)*d : (wi+1)*d])
+			copy(r, sub)
+			r[last] = rect.Interval{Lo: c, Hi: c}
+			rects[wi] = r
+		}
+		inc.memo[c] = rects
+	}
+	return inc.assemble()
+}
+
+// assemble stitches the memoized dirty slices and the clean runs into a
+// fresh Partition, in exactly findAscending's output order: dirty slice
+// values ascending (each contributing its sub-partition in order), then
+// clean full-width runs ascending.
+func (inc *Incremental) assemble() *Partition {
+	d := len(inc.widths)
+	last := d - 1
+	n := inc.widths[last]
+	vals := make([]int, 0, len(inc.memo))
+	for c := range inc.memo {
+		vals = append(vals, c)
+	}
+	sort.Ints(vals)
+
+	total := 0
+	for _, c := range vals {
+		total += len(inc.memo[c])
+	}
+	work := make([]rect.Rect, 0, total+len(vals)+1)
+	for _, c := range vals {
+		work = append(work, inc.memo[c]...)
+	}
+	// Clean runs: the gaps between consecutive dirty values.
+	emit := func(lo, hi int) {
+		if lo > hi {
+			return
+		}
+		r := make(rect.Rect, d)
+		for j := 0; j < last; j++ {
+			r[j] = rect.Interval{Lo: 0, Hi: inc.widths[j] - 1}
+		}
+		r[last] = rect.Interval{Lo: lo, Hi: hi}
+		work = append(work, r)
+	}
+	prev := -1
+	for _, c := range vals {
+		emit(prev+1, c-1)
+		prev = c
+	}
+	emit(prev+1, n-1)
+	return inc.convert(work)
+}
+
+// convert maps working-space rects back to original dimensions, with the
+// min corner as representative — the same conversion Scratch.find performs,
+// but into memory owned by the returned Partition.
+func (inc *Incremental) convert(work []rect.Rect) *Partition {
+	d := len(inc.widths)
+	p := &Partition{Kind: inc.kind, Order: inc.pi, Sets: make([]Set, 0, len(work))}
+	ivals := make([]rect.Interval, len(work)*d)
+	ints := make([]int, len(work)*d)
+	for wi, wr := range work {
+		r := rect.Rect(ivals[wi*d : (wi+1)*d : (wi+1)*d])
+		for j := 0; j < d; j++ {
+			r[j] = wr[inc.inv[j]]
+		}
+		rep := mesh.Coord(ints[wi*d : (wi+1)*d : (wi+1)*d])
+		for j, iv := range r {
+			rep[j] = iv.Lo
+		}
+		p.Sets = append(p.Sets, Set{Rect: r, Rep: rep})
+	}
+	return p
+}
+
+func (inc *Incremental) permuteCoord(c mesh.Coord) mesh.Coord {
+	out := make(mesh.Coord, len(c))
+	for t, dim := range inc.order {
+		out[t] = c[dim]
+	}
+	return out
+}
+
+func (inc *Incremental) permuteLink(l mesh.Link) mesh.Link {
+	wl := mesh.Link{From: inc.permuteCoord(l.From), Dim: inc.inv[l.Dim], Dir: l.Dir}
+	if inc.rev {
+		// DES duality: reverse the directed link — the new tail is the old
+		// head (the permuted coord is a private copy; mutate in place).
+		wl.From[wl.Dim] += wl.Dir
+		wl.Dir = -wl.Dir
+	}
+	return wl
+}

@@ -1,0 +1,176 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"lambmesh/internal/mesh"
+	"lambmesh/internal/routing"
+)
+
+// samePartition compares two partitions for byte identity: same kind and
+// order, and the same sets — rectangles AND representatives — in the same
+// emitted order. The incremental finder promises exactly this, not just
+// set equality.
+func samePartition(a, b *Partition) error {
+	if a.Kind != b.Kind {
+		return fmt.Errorf("kind %v != %v", a.Kind, b.Kind)
+	}
+	if !a.Order.Equal(b.Order) {
+		return fmt.Errorf("order %v != %v", a.Order, b.Order)
+	}
+	if len(a.Sets) != len(b.Sets) {
+		return fmt.Errorf("len %d != %d", len(a.Sets), len(b.Sets))
+	}
+	for i := range a.Sets {
+		if a.Sets[i].Rect.String() != b.Sets[i].Rect.String() {
+			return fmt.Errorf("set %d rect %v != %v", i, a.Sets[i].Rect, b.Sets[i].Rect)
+		}
+		if !a.Sets[i].Rep.Equal(b.Sets[i].Rep) {
+			return fmt.Errorf("set %d rep %v != %v", i, a.Sets[i].Rep, b.Sets[i].Rep)
+		}
+	}
+	return nil
+}
+
+// randomGrowth yields a random sequence of fault deltas (nodes and links)
+// on m, never repeating a fault.
+func randomGrowth(m *mesh.Mesh, rng *rand.Rand, steps, maxDelta int) [][2]any {
+	f := mesh.NewFaultSet(m) // dedup tracker only
+	var seq [][2]any
+	for s := 0; s < steps; s++ {
+		var dn []mesh.Coord
+		var dl []mesh.Link
+		n := 1 + rng.Intn(maxDelta)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 { // link fault
+				for tries := 0; tries < 50; tries++ {
+					c := m.CoordOf(rng.Int63n(m.Nodes()))
+					dim := rng.Intn(m.Dims())
+					dir := 1 - 2*rng.Intn(2)
+					l := mesh.Link{From: c, Dim: dim, Dir: dir}
+					if _, ok := m.Neighbor(c, dim, dir); ok && !f.LinkFaulty(l) {
+						f.AddLink(l)
+						dl = append(dl, l)
+						break
+					}
+				}
+			} else {
+				for tries := 0; tries < 50; tries++ {
+					c := m.CoordOf(rng.Int63n(m.Nodes()))
+					if !f.NodeFaulty(c) {
+						f.AddNode(c)
+						dn = append(dn, c)
+						break
+					}
+				}
+			}
+		}
+		seq = append(seq, [2]any{dn, dl})
+	}
+	return seq
+}
+
+// The core identity pin: across randomized fault-growth sequences on 2D and
+// 3D meshes with mixed node and link faults and random orderings, every
+// Update result is byte-identical to a from-scratch SES/DES call on the
+// accumulated fault set.
+func TestIncrementalMatchesScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := [][]int{{6, 6}, {5, 7}, {12, 12}, {4, 4, 4}, {3, 4, 5}, {9}}
+	for trial := 0; trial < 24; trial++ {
+		widths := shapes[trial%len(shapes)]
+		m := mesh.MustNew(widths...)
+		pi := routing.Order(rng.Perm(m.Dims()))
+		for _, kind := range []Kind{Source, Destination} {
+			inc, err := NewIncremental(m, pi, kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := mesh.NewFaultSet(m)
+			for step, delta := range randomGrowth(m, rng, 6, 3) {
+				dn := delta[0].([]mesh.Coord)
+				dl := delta[1].([]mesh.Link)
+				for _, c := range dn {
+					f.AddNode(c)
+				}
+				for _, l := range dl {
+					f.AddLink(l)
+				}
+				got := inc.Update(dn, dl)
+				var want *Partition
+				if kind == Source {
+					want, err = SES(f, pi)
+				} else {
+					want, err = DES(f, pi)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := samePartition(got, want); err != nil {
+					t.Fatalf("trial %d step %d %v order %v shape %v: %v\nfaults %v links %v",
+						trial, step, kind, pi, widths, err, f.SortedNodeFaults(), f.LinkFaults())
+				}
+			}
+		}
+	}
+}
+
+// Previously returned partitions must stay valid after later Updates (the
+// incremental lamb pipeline diffs epoch N against N+1).
+func TestIncrementalResultsStayValid(t *testing.T) {
+	m := mesh.MustNew(8, 8)
+	inc, err := NewIncremental(m, routing.Ascending(2), Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := inc.Update([]mesh.Coord{mesh.C(3, 3)}, nil)
+	snapshot := make([]Set, len(p1.Sets))
+	copy(snapshot, p1.Sets)
+	rects := make([]string, len(p1.Sets))
+	for i, s := range p1.Sets {
+		rects[i] = s.Rect.StringIn(m)
+	}
+	_ = inc.Update([]mesh.Coord{mesh.C(5, 1), mesh.C(0, 7)}, nil)
+	_ = inc.Update(nil, []mesh.Link{{From: mesh.C(2, 2), Dim: 1, Dir: 1}})
+	for i, s := range p1.Sets {
+		if s.Rect.StringIn(m) != rects[i] {
+			t.Fatalf("set %d mutated by later Update: %v != %v", i, s.Rect.StringIn(m), rects[i])
+		}
+		if !s.Rep.Equal(snapshot[i].Rep) {
+			t.Fatalf("rep %d mutated by later Update", i)
+		}
+	}
+}
+
+// An empty delta is a legal no-op Update returning the current partition.
+func TestIncrementalEmptyDelta(t *testing.T) {
+	m := mesh.MustNew(6, 6)
+	f := mesh.NewFaultSet(m)
+	f.AddNodes(mesh.C(2, 4))
+	inc, err := NewIncremental(m, routing.Ascending(2), Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc.Update([]mesh.Coord{mesh.C(2, 4)}, nil)
+	got := inc.Update(nil, nil)
+	want, err := SES(f, routing.Ascending(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := samePartition(got, want); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Torus meshes are rejected like the from-scratch finder rejects them.
+func TestIncrementalTorusRejected(t *testing.T) {
+	m, _ := mesh.NewTorus(4, 4)
+	if _, err := NewIncremental(m, routing.Ascending(2), Source); err == nil {
+		t.Error("torus should be rejected")
+	}
+	if _, err := NewIncremental(mesh.MustNew(4, 4), routing.Order{0, 0}, Source); err == nil {
+		t.Error("invalid ordering should be rejected")
+	}
+}

@@ -16,6 +16,7 @@ package reach
 
 import (
 	"fmt"
+	"time"
 
 	"lambmesh/internal/bitmat"
 	"lambmesh/internal/mesh"
@@ -60,6 +61,12 @@ type Scratch struct {
 	// pipelines (core.Solver) can Detach or inspect it directly.
 	Part partition.Scratch
 
+	// PartitionNanos records how much of the last ComputeScratch (or
+	// ComputeWithSweepScratch) call went into building SES/DES partitions,
+	// so callers can split recompute latency into phases. Only maintained
+	// on the scratch-sharing path (a nil Scratch has nowhere to record it).
+	PartitionNanos int64
+
 	pool    []*bitmat.Matrix
 	used    int
 	chain   [2]*bitmat.Matrix
@@ -70,6 +77,7 @@ type Scratch struct {
 func (s *Scratch) reset() {
 	s.Part.Reset()
 	s.used = 0
+	s.PartitionNanos = 0
 }
 
 // Detach forgets every buffer the Scratch owns, so Reachability values
@@ -160,6 +168,10 @@ func ComputeScratch(f *mesh.FaultSet, orders routing.MultiOrder, workers int, s 
 		}
 	}
 	buildRound := func(rd *roundData, ps *partition.Scratch, alloc func(rows, cols int) *bitmat.Matrix) {
+		var partStart time.Time
+		if shared {
+			partStart = time.Now()
+		}
 		pi := orders[rd.round]
 		sigma, err := ps.SES(f, pi)
 		if err != nil {
@@ -170,6 +182,11 @@ func ComputeScratch(f *mesh.FaultSet, orders routing.MultiOrder, workers int, s 
 		if err != nil {
 			rd.err = err
 			return
+		}
+		if shared {
+			// Serial on the shared path (rounds share the arenas), so a
+			// plain add is race-free.
+			s.PartitionNanos += int64(time.Since(partStart))
 		}
 		rd.sigma = sigma
 		rd.delta = delta
@@ -326,6 +343,7 @@ func ComputeWithSweepScratch(f *mesh.FaultSet, orders routing.MultiOrder, worker
 	if shared {
 		ps = &s.Part
 	}
+	partStart := time.Now()
 	sigma, err := ps.SES(f, orders[0])
 	if err != nil {
 		return nil, err
@@ -333,6 +351,9 @@ func ComputeWithSweepScratch(f *mesh.FaultSet, orders routing.MultiOrder, worker
 	delta, err := ps.DES(f, orders[k-1])
 	if err != nil {
 		return nil, err
+	}
+	if shared {
+		s.PartitionNanos = int64(time.Since(partStart))
 	}
 	for t := 0; t < k; t++ {
 		rc.Sigma[t] = sigma // only Sigma[0] and Delta[k-1] are meaningful here

@@ -19,10 +19,11 @@ func (b wireBackend) Query(src, dst []int, ans *wire.Answer) {
 	b.s.routeCompact(mesh.Coord(src), mesh.Coord(dst), ans)
 }
 
-// routeCompact is Route's allocation-free twin for the wire protocol: the
-// same answers and the same metrics, but written into the caller's reused
-// Answer instead of materializing a Route (no path, no reason strings).
-// With the class table live this performs zero heap allocations.
+// routeCompact is Route's compact twin for the wire protocol: the same
+// answers and the same metrics, but written into the caller's reused Answer
+// instead of materializing a Route (no path, no reason strings). With the
+// class table live, the only allocation is the cloned via coordinate that
+// detaches the answer from the pooled lookup scratch.
 func (s *Server) routeCompact(src, dst mesh.Coord, ans *wire.Answer) {
 	e := s.Epoch()
 	s.metrics.Queries.Add(1)
@@ -50,10 +51,13 @@ func (s *Server) routeCompact(src, dst mesh.Coord, ans *wire.Answer) {
 			s.metrics.RoutesRejected.Add(1)
 			return
 		}
+		// res.Via aliases q; detach it before the scratch goes back to the
+		// pool, where a concurrent query would overwrite it.
+		res = res.Clone()
+		s.scratch.Put(q)
 		ans.Code = wire.CodeFound
 		ans.Hops, ans.Turns, ans.NVias = res.Hops, res.Turns, res.NVias
-		ans.Via = append(ans.Via, res.Via...) // copy out before releasing the scratch
-		s.scratch.Put(q)
+		ans.Via = append(ans.Via, res.Via...)
 		s.metrics.ObserveRoute(ans.Hops)
 		return
 	}

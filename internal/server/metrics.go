@@ -25,6 +25,17 @@ type Metrics struct {
 	RecomputeErrs  atomic.Int64 // recomputations that failed (epoch kept)
 	RecomputeNanos atomic.Int64 // total time spent recomputing
 
+	// RecomputesIncremental counts recomputations served by the incremental
+	// delta-patch path (a subset of Recomputes).
+	RecomputesIncremental atomic.Int64
+	// Phase*Nanos are gauges splitting the most recent recompute into
+	// pipeline phases: partition maintenance, reachability fill/patch, the
+	// vertex-cover tail, and the class-table build/carry-over.
+	PhasePartitionNanos atomic.Int64
+	PhaseReachNanos     atomic.Int64
+	PhaseVCoverNanos    atomic.Int64
+	PhaseTableNanos     atomic.Int64
+
 	// routeHops is a histogram of answered route lengths. Bucket i counts
 	// routes with hops <= hopBuckets[i]; the last bucket is +Inf.
 	routeHops [len(hopBuckets) + 1]atomic.Int64
@@ -71,6 +82,16 @@ func (m *Metrics) WriteTo(w io.Writer, generation uint64, epochAge time.Duration
 	g("faults_added_total", "individual faults folded in", m.FaultsAdded.Load())
 	g("recomputes_total", "lamb recomputations completed", m.Recomputes.Load())
 	g("recompute_errors_total", "failed recomputations", m.RecomputeErrs.Load())
+	g("recomputes_incremental_total", "recomputations served by the incremental patch path", m.RecomputesIncremental.Load())
+
+	fmt.Fprintf(w, "# HELP lambd_recompute_phase_seconds last recompute latency by pipeline phase\n# TYPE lambd_recompute_phase_seconds gauge\n")
+	ph := func(name string, v int64) {
+		fmt.Fprintf(w, "lambd_recompute_phase_seconds{phase=%q} %g\n", name, time.Duration(v).Seconds())
+	}
+	ph("partition", m.PhasePartitionNanos.Load())
+	ph("reach", m.PhaseReachNanos.Load())
+	ph("vcover", m.PhaseVCoverNanos.Load())
+	ph("table", m.PhaseTableNanos.Load())
 
 	fmt.Fprintf(w, "# HELP lambd_route_hops route length histogram\n# TYPE lambd_route_hops histogram\n")
 	cum := int64(0)

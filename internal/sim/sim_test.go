@@ -107,7 +107,7 @@ func TestAllExperiments(t *testing.T) {
 	heavy := map[string]bool{"fig24": true, "fig26": true, "sec3one": true}
 	// timed experiments report wall-clock measurements; their renders cannot
 	// be compared across runs (structure is still checked).
-	timed := map[string]bool{"abl-sptree": true}
+	timed := map[string]bool{"abl-sptree": true, "increconf": true}
 	seen := map[string]bool{}
 	for _, e := range Registry() {
 		if seen[e.ID] {
@@ -276,7 +276,7 @@ func TestRegistryCoversDesignIndex(t *testing.T) {
 		"sec3one", "sec3two", "fig15", "prop65", "hardness",
 		"abl-rounds", "abl-vcover", "abl-blockfault", "abl-sptree", "worm",
 		"ext-linkfaults", "ext-reconfig", "ext-congestion", "ext-torus",
-		"worm-saturation", "worm-recovery", "classtable",
+		"worm-saturation", "worm-recovery", "classtable", "increconf",
 	}
 	for _, id := range ids {
 		if _, ok := Lookup(id); !ok {

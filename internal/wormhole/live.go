@@ -21,6 +21,7 @@ package wormhole
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"lambmesh/internal/core"
 	"lambmesh/internal/mesh"
@@ -73,6 +74,12 @@ type EventRecovery struct {
 	// 0 if PreRate was zero (nothing to recover), -1 if the run ended
 	// before recovery.
 	RecoveryLatency int
+	// RecomputeTime is the wall-clock cost of the lamb recomputation this
+	// event triggered — the host-side reconfiguration stall, as opposed to
+	// RecoveryLatency's in-network cycles. Excluded from golden outputs
+	// (wormsim prints only deterministic fields); EXPERIMENTS.md uses it to
+	// compare incremental against full recomputes.
+	RecomputeTime time.Duration
 }
 
 // liveState is the engine's mid-run fault-injection machinery.
@@ -233,9 +240,11 @@ func (l *liveState) applyEvent(e *Engine, ev FaultEvent, cycle int, undelivered 
 		return nil
 	}
 
+	recomputeStart := time.Now()
 	if _, err := rec.AddFaults(newNodes, newLinks); err != nil {
 		return fmt.Errorf("wormhole: reconfiguration at cycle %d: %w", cycle, err)
 	}
+	recomputeTime := time.Since(recomputeStart)
 	l.reconfigs++
 	clear(l.isLamb)
 	for _, c := range rec.Lambs() {
@@ -325,6 +334,7 @@ func (l *liveState) applyEvent(e *Engine, ev FaultEvent, cycle int, undelivered 
 		Lost:            lost,
 		PreRate:         rate,
 		RecoveryLatency: -1,
+		RecomputeTime:   recomputeTime,
 	})
 	if rate == 0 {
 		// Nothing was flowing before the event; recovery is trivially

@@ -2,12 +2,14 @@
 # bench.sh — record the lamb pipeline's perf trajectory.
 #
 # Runs the hot-path benchmarks (Fig17/Fig18 trials, BitmatMul, the Section 5
-# pipeline, the wormhole cycle loop, the class-table query path, and the
-# wire codec) twice — LAMBMESH_WORKERS=1 and
+# pipeline, the wormhole cycle loop, the class-table query path, the wire
+# codec, the incremental AddFaults recompute, and the post-swap class-table
+# query burst) twice — LAMBMESH_WORKERS=1 and
 # LAMBMESH_WORKERS=NumCPU — and writes BENCH_lamb.json with ns/op and
 # allocs/op per (benchmark, workers) pair plus per-benchmark speedups. On a
 # single-CPU machine only the workers=1 pass runs (there is nothing to
-# compare against). The final benchcheck pass also enforces the allocation
+# compare against) and a "speedup_skipped" marker records why the speedup
+# map is empty. The final benchcheck pass also enforces the allocation
 # budgets in scripts/benchcheck/budgets.json; after a deliberate change in
 # allocation behaviour, regenerate them with
 # `go run ./scripts/benchcheck -write`.
@@ -24,13 +26,14 @@ cd "$(dirname "$0")/.."
 
 OUT="${OUT:-BENCH_lamb.json}"
 BENCHTIME="${BENCHTIME:-3x}"
-BENCH_RE='^(BenchmarkFig17Trial|BenchmarkFig18Trial|BenchmarkBitmatMul|BenchmarkSec5LambSet|BenchmarkWormholeRun|BenchmarkTrafficEngine|BenchmarkClassTableQuery|BenchmarkWireRoundTrip)$'
+BENCH_RE='^(BenchmarkFig17Trial|BenchmarkFig18Trial|BenchmarkBitmatMul|BenchmarkSec5LambSet|BenchmarkWormholeRun|BenchmarkTrafficEngine|BenchmarkClassTableQuery|BenchmarkWireRoundTrip|BenchmarkIncrementalAddFaults|BenchmarkClassTableSwapQuery)$'
 
 if [ "${1:-}" = "--check" ]; then
     exec go run ./scripts/benchcheck -file "$OUT"
 fi
 
 NCPU="$(getconf _NPROCESSORS_ONLN)"
+GMP="${GOMAXPROCS:-$NCPU}"
 GOVER="$(go env GOVERSION)"
 DATE="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 
@@ -68,7 +71,7 @@ if [ "$NCPU" -gt 1 ]; then
     run_pass "$NCPU" >>"$TMP"
 fi
 
-awk -v ncpu="$NCPU" -v gover="$GOVER" -v date="$DATE" -v benchtime="$BENCHTIME" '
+awk -v ncpu="$NCPU" -v gmp="$GMP" -v gover="$GOVER" -v date="$DATE" -v benchtime="$BENCHTIME" '
     { ns[$1 "," $2] = $3; names[$1] = 1; lines[NR] = $0 }
     END {
         printf "{\n"
@@ -76,6 +79,7 @@ awk -v ncpu="$NCPU" -v gover="$GOVER" -v date="$DATE" -v benchtime="$BENCHTIME" 
         printf "  \"date\": \"%s\",\n", date
         printf "  \"go\": \"%s\",\n", gover
         printf "  \"num_cpu\": %d,\n", ncpu
+        printf "  \"gomaxprocs\": %d,\n", gmp
         printf "  \"benchtime\": \"%s\",\n", benchtime
         printf "  \"benchmarks\": [\n"
         for (i = 1; i <= NR; i++) {
@@ -84,6 +88,10 @@ awk -v ncpu="$NCPU" -v gover="$GOVER" -v date="$DATE" -v benchtime="$BENCHTIME" 
                 f[1], f[2], f[3], f[4], (i < NR ? "," : "")
         }
         printf "  ],\n"
+        # On a single-CPU machine only the workers=1 pass ran; say so
+        # explicitly instead of leaving an ambiguous empty speedup map.
+        if (ncpu == 1)
+            printf "  \"speedup_skipped\": \"1 CPU: parallel pass not run, nothing to compare\",\n"
         printf "  \"speedup\": {\n"
         n = 0
         for (name in names) if (ncpu > 1 && (name "," 1) in ns && (name "," ncpu) in ns) order[++n] = name

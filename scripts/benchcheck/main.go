@@ -34,14 +34,18 @@ type benchEntry struct {
 }
 
 type benchFile struct {
-	Schema     string             `json:"schema"`
-	Date       string             `json:"date"`
-	GoVersion  string             `json:"go"`
-	NumCPU     int                `json:"num_cpu"`
-	Benchtime  string             `json:"benchtime"`
-	Benchmarks []benchEntry       `json:"benchmarks"`
-	Baseline   []benchEntry       `json:"baseline,omitempty"` // pre-optimization rows, kept for before/after comparison
-	Speedup    map[string]float64 `json:"speedup"`
+	Schema     string       `json:"schema"`
+	Date       string       `json:"date"`
+	GoVersion  string       `json:"go"`
+	NumCPU     int          `json:"num_cpu"`
+	Gomaxprocs int          `json:"gomaxprocs"`
+	Benchtime  string       `json:"benchtime"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+	Baseline   []benchEntry `json:"baseline,omitempty"` // pre-optimization rows, kept for before/after comparison
+	// SpeedupSkipped explains an empty speedup map (single-CPU recorder);
+	// its presence and the map's emptiness must agree.
+	SpeedupSkipped string             `json:"speedup_skipped,omitempty"`
+	Speedup        map[string]float64 `json:"speedup"`
 }
 
 // requiredBenchmarks are the hot-path benchmarks the issue tracks; each must
@@ -56,6 +60,14 @@ var requiredBenchmarks = []string{
 	"BenchmarkTrafficEngine",
 	"BenchmarkClassTableQuery",
 	"BenchmarkWireRoundTrip",
+	"BenchmarkIncrementalAddFaults/delta=1",
+	"BenchmarkIncrementalAddFaults/delta=4",
+	"BenchmarkIncrementalAddFaults/delta=16",
+	"BenchmarkIncrementalAddFaults/full-delta=1",
+	"BenchmarkIncrementalAddFaults/full-delta=4",
+	"BenchmarkIncrementalAddFaults/full-delta=16",
+	"BenchmarkClassTableSwapQuery/cold",
+	"BenchmarkClassTableSwapQuery/warm",
 }
 
 // budgetFile is the checked-in allocation budget table: for each benchmark,
@@ -102,6 +114,9 @@ func check(path, budgetPath string) error {
 	if bf.NumCPU < 1 {
 		return fmt.Errorf("%s: num_cpu %d", path, bf.NumCPU)
 	}
+	if bf.Gomaxprocs < 1 {
+		return fmt.Errorf("%s: missing gomaxprocs (re-run scripts/bench.sh)", path)
+	}
 	if bf.Date == "" || bf.GoVersion == "" {
 		return fmt.Errorf("%s: missing date or go version", path)
 	}
@@ -128,6 +143,18 @@ func check(path, budgetPath string) error {
 	}
 	if bf.NumCPU > 1 && len(bf.Speedup) == 0 {
 		return fmt.Errorf("%s: num_cpu %d but no speedup map", path, bf.NumCPU)
+	}
+	// A single-CPU recording must say so explicitly — an empty speedup map
+	// without the marker is indistinguishable from a broken parallel pass.
+	if bf.NumCPU == 1 {
+		if bf.SpeedupSkipped == "" {
+			return fmt.Errorf("%s: num_cpu 1 but no speedup_skipped marker (re-run scripts/bench.sh)", path)
+		}
+		if len(bf.Speedup) != 0 {
+			return fmt.Errorf("%s: num_cpu 1 yet speedup map has %d entries", path, len(bf.Speedup))
+		}
+	} else if bf.SpeedupSkipped != "" {
+		return fmt.Errorf("%s: speedup_skipped set on a %d-CPU recording", path, bf.NumCPU)
 	}
 	return checkBudgets(path, budgetPath, bf)
 }

@@ -4,8 +4,9 @@
 #
 # Runs `go test -cover` over every package, prints a per-package table
 # (appended to $GITHUB_STEP_SUMMARY as Markdown when CI provides one), and
-# fails if internal/sim or internal/wormhole — the packages this repo's
-# experiments stand on — drop below the floor.
+# fails if internal/sim, internal/wormhole, internal/classtable, or
+# internal/server — the packages this repo's experiments and the serving
+# data plane stand on — drop below the floor.
 #
 # Usage:
 #   scripts/covercheck.sh           # default 70% floor
@@ -14,7 +15,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MIN_COVER="${MIN_COVER:-70}"
-GATED='lambmesh/internal/sim lambmesh/internal/wormhole'
+GATED='lambmesh/internal/sim lambmesh/internal/wormhole lambmesh/internal/classtable lambmesh/internal/server'
 
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
