@@ -8,6 +8,7 @@ package lambmesh
 // determine those running times.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"lambmesh/internal/analysis"
 	"lambmesh/internal/bitmat"
 	"lambmesh/internal/blockfault"
+	"lambmesh/internal/campaign"
 	"lambmesh/internal/classtable"
 	"lambmesh/internal/core"
 	"lambmesh/internal/hardness"
@@ -657,5 +659,59 @@ func BenchmarkClassTableSwapQuery(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkCampaignTrial: one deterministic campaign trial — seed
+// derivation, fault draw, count-only lamb solve, streaming aggregation — on
+// a 16x16 mesh with 8 node faults. This is the reliability engine's inner
+// loop; budgets.json pins it at zero steady-state allocations.
+func BenchmarkCampaignTrial(b *testing.B) {
+	tr, err := campaign.NewTrialRunner(campaign.Spec{
+		Meshes: [][]int{{16, 16}},
+		Models: []campaign.Model{campaign.ModelNode},
+		Procs:  []campaign.ProcSpec{{Proc: campaign.ProcFixed, Count: 8}},
+		K:      2,
+		Trials: 1 << 20,
+		Seed:   1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the solver scratch to steady state before measuring.
+	for t := int64(0); t < 64; t++ {
+		if err := tr.Trial(0, t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Trial(0, int64(i)%(1<<20)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignRun: a complete small campaign through the sharded
+// scheduler — claim feeding, shard execution, in-order merging — at the
+// LAMBMESH_WORKERS pool size. The workers=1 vs workers=NumCPU pair in
+// BENCH_lamb.json records the scheduler's trials/sec scaling.
+func BenchmarkCampaignRun(b *testing.B) {
+	spec := campaign.Spec{
+		Meshes:    [][]int{{8, 8}},
+		Models:    []campaign.Model{campaign.ModelNode},
+		Procs:     []campaign.ProcSpec{{Proc: campaign.ProcFixed, Count: 4}},
+		K:         2,
+		Trials:    256,
+		Seed:      1,
+		ShardSize: 32,
+		Workers:   benchWorkers(),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := campaign.Run(context.Background(), spec, campaign.Opts{}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -23,6 +23,11 @@ import (
 )
 
 func main() {
+	// Subcommands sit in front of the classic flag interface; bare
+	// `lambsim [flags]` still runs the paper's experiments.
+	if len(os.Args) > 1 && os.Args[1] == "campaign" {
+		os.Exit(campaignMain(os.Args[2:], os.Stdout, os.Stderr))
+	}
 	var (
 		expFlag = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
 		trials  = flag.Int("trials", 100, "baseline trials per data point (paper: 1000)")

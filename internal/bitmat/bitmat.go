@@ -122,6 +122,12 @@ func (m *Matrix) MulParallel(o *Matrix, workers int) *Matrix {
 // mulInto fills out (all-zero, m.rows x o.cols) with the product m x o,
 // row-block parallel across workers.
 func (m *Matrix) mulInto(out, o *Matrix, workers int) {
+	// Serial fast path: skip the closure (which escapes through par.Blocks
+	// and would cost a heap allocation per product even at workers=1).
+	if workers <= 1 {
+		m.mulRows(out, o, 0, m.rows)
+		return
+	}
 	par.Blocks(workers, m.rows, func(lo, hi int) {
 		m.mulRows(out, o, lo, hi)
 	})

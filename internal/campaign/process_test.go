@@ -1,0 +1,159 @@
+package campaign
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"lambmesh/internal/mesh"
+)
+
+func TestParseModel(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Model
+	}{{"node", ModelNode}, {"link", ModelLink}, {"mixed", ModelMixed}} {
+		got, err := ParseModel(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseModel(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Fatalf("%v.String() = %q, want %q", got, got.String(), tc.in)
+		}
+	}
+	if _, err := ParseModel("bogus"); err == nil {
+		t.Fatal("ParseModel should reject unknown models")
+	}
+}
+
+func TestFailProb(t *testing.T) {
+	// MTBF: T = theta gives 1 - 1/e.
+	p, err := ProcSpec{Proc: ProcMTBF, Mission: 100, Theta: 100}.FailProb()
+	if err != nil || math.Abs(p-(1-1/math.E)) > 1e-12 {
+		t.Fatalf("mtbf prob = %v, %v", p, err)
+	}
+	// Weibull with beta = 1 reduces to MTBF.
+	w, err := ProcSpec{Proc: ProcWeibull, Mission: 100, Eta: 100, Beta: 1}.FailProb()
+	if err != nil || math.Abs(w-p) > 1e-12 {
+		t.Fatalf("weibull(beta=1) = %v, want %v (%v)", w, p, err)
+	}
+	if _, err := (ProcSpec{Proc: ProcFixed, Count: 3}).FailProb(); err == nil {
+		t.Fatal("fixed process should have no failure probability")
+	}
+	if _, err := (ProcSpec{Proc: ProcMTBF, Mission: 1, Theta: 0}).FailProb(); err == nil {
+		t.Fatal("theta = 0 should be rejected")
+	}
+	if _, err := (ProcSpec{Proc: ProcWeibull, Mission: 1, Eta: 1, Beta: 0}).FailProb(); err == nil {
+		t.Fatal("beta = 0 should be rejected")
+	}
+}
+
+func TestSamplerFixed(t *testing.T) {
+	s, err := newSampler(ProcSpec{Proc: ProcFixed, Count: 5}, 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newRNG(7)
+	for i := 0; i < 100; i++ {
+		if got := s.draw(&r); got != 5 {
+			t.Fatalf("fixed sampler drew %d", got)
+		}
+	}
+	if _, err := newSampler(ProcSpec{Proc: ProcFixed, Count: 60}, 100, 50); err == nil {
+		t.Fatal("fixed count above maxCount should be rejected")
+	}
+}
+
+// TestSamplerBinomial draws many counts and checks the empirical mean and
+// variance against Binomial(n, p), and that draws respect the cap.
+func TestSamplerBinomial(t *testing.T) {
+	const n, mission, theta = 1000, 10.0, 95.0
+	ps := ProcSpec{Proc: ProcMTBF, Mission: mission, Theta: theta}
+	p, _ := ps.FailProb()
+	s, err := newSampler(ps, n, n/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newRNG(11)
+	const trials = 200000
+	var sum, sq float64
+	for i := 0; i < trials; i++ {
+		c := s.draw(&r)
+		if c < 0 || c > n/2 {
+			t.Fatalf("draw %d outside [0,%d]", c, n/2)
+		}
+		sum += float64(c)
+		sq += float64(c) * float64(c)
+	}
+	mean := sum / trials
+	wantMean := float64(n) * p
+	sd := math.Sqrt(float64(n) * p * (1 - p))
+	if math.Abs(mean-wantMean) > 5*sd/math.Sqrt(trials)+0.01 {
+		t.Fatalf("empirical mean %v, want %v", mean, wantMean)
+	}
+	varr := sq/trials - mean*mean
+	if math.Abs(varr-sd*sd) > 0.05*sd*sd {
+		t.Fatalf("empirical var %v, want %v", varr, sd*sd)
+	}
+}
+
+// TestSamplerEdgeCases covers the p = 0 and p ~ 1 tabulation branches.
+func TestSamplerEdgeCases(t *testing.T) {
+	s, err := newSampler(ProcSpec{Proc: ProcMTBF, Mission: 0, Theta: 10}, 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newRNG(1)
+	if got := s.draw(&r); got != 0 {
+		t.Fatalf("p=0 sampler drew %d", got)
+	}
+	// Mission >> theta: p indistinguishable from 1, every draw capped.
+	s, err = newSampler(ProcSpec{Proc: ProcMTBF, Mission: 1e9, Theta: 1}, 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.draw(&r); got != 50 {
+		t.Fatalf("p~1 sampler drew %d, want the 50 cap", got)
+	}
+}
+
+// TestDrawFaultsDeterministic checks fault draws are a pure function of the
+// RNG seed, produce the exact requested count, and respect model semantics.
+func TestDrawFaultsDeterministic(t *testing.T) {
+	m := mesh.MustNew(6, 6)
+	for _, model := range []Model{ModelNode, ModelLink, ModelMixed} {
+		f1 := mesh.NewFaultSet(m)
+		f2 := mesh.NewFaultSet(m)
+		c := make(mesh.Coord, m.Dims())
+		h := make(mesh.Coord, m.Dims())
+		for seed := int64(0); seed < 20; seed++ {
+			r1 := newRNG(seed)
+			r2 := newRNG(seed)
+			drawFaults(m, f1, model, 5, &r1, c, h)
+			drawFaults(m, f2, model, 5, &r2, c, h)
+			if f1.Count() != 5 || f2.Count() != 5 {
+				t.Fatalf("%v seed %d: counts %d, %d", model, seed, f1.Count(), f2.Count())
+			}
+			k1 := fmt.Sprint(f1.NodeFaults(), f1.LinkFaults())
+			k2 := fmt.Sprint(f2.NodeFaults(), f2.LinkFaults())
+			if k1 != k2 {
+				t.Fatalf("%v seed %d: same seed drew different fault sets:\n%s\n%s", model, seed, k1, k2)
+			}
+			switch model {
+			case ModelNode:
+				if f1.NumLinkFaults() != 0 {
+					t.Fatalf("node model drew links")
+				}
+			case ModelLink:
+				if f1.NumNodeFaults() != 0 {
+					t.Fatalf("link model drew nodes")
+				}
+				for _, l := range f1.LinkFaults() {
+					if f1.NodeFaulty(l.From) {
+						t.Fatalf("link fault with faulty tail %v", l)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package campaign
+
+// rng is a small value-type PRNG (splitmix64) used by the campaign trial
+// loop. math/rand's rand.New allocates its generator on the heap; a campaign
+// seeds a fresh generator per trial (millions of times), so the trial loop
+// carries this zero-allocation generator by value instead. The sequence is a
+// pure function of the seed, which the per-trial seed contract
+// (par.TrialSeed, DESIGN.md §12) derives from (campaign seed, grid point,
+// trial index).
+type rng struct {
+	state uint64
+}
+
+// newRNG seeds a generator. Distinct seeds give well-separated sequences
+// (splitmix64 is a bijective mix of a Weyl sequence).
+func newRNG(seed int64) rng {
+	return rng{state: uint64(seed)}
+}
+
+// next returns the next 64 uniformly random bits.
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform float in [0, 1) with 53 random bits.
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// intn returns a uniform integer in [0, n). n must be positive. Rejection
+// sampling keeps the distribution exactly uniform.
+func (r *rng) intn(n int64) int64 {
+	if n <= 0 {
+		panic("campaign: intn with non-positive bound")
+	}
+	max := uint64(1<<63 - 1 - (1<<63-1)%uint64(n))
+	v := r.next() >> 1
+	for v > max {
+		v = r.next() >> 1
+	}
+	return int64(v % uint64(n))
+}

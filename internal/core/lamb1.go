@@ -8,6 +8,7 @@ import (
 	"lambmesh/internal/reach"
 	"lambmesh/internal/rect"
 	"lambmesh/internal/routing"
+	"lambmesh/internal/vcover"
 )
 
 // Lamb1 finds a lamb set by the bipartite reduction of Section 6.3.1:
@@ -71,6 +72,35 @@ func (s *Solver) Lamb1(f *mesh.FaultSet, orders routing.MultiOrder, opts ...Opti
 func (s *Solver) lamb1FromReach(f *mesh.FaultSet, orders routing.MultiOrder, cfg *config, rc *reach.Reachability) (*Result, error) {
 	sigma := rc.Sigma[0]
 	delta := rc.Delta[len(rc.Delta)-1]
+	cover, st := s.coverFromReach(f, cfg, rc)
+	zr, zc := s.zr, s.zc
+	res := newResult(f.Mesh(), orders, cfg, st, rc, func(emit func(mesh.Coord)) {
+		for ii, i := range zr {
+			if cover.Left[ii] {
+				sigma.Sets[i].Rect.ForEach(emit)
+			}
+		}
+		for jj, j := range zc {
+			if cover.Right[jj] {
+				delta.Sets[j].Rect.ForEach(emit)
+			}
+		}
+	})
+	if cfg.keepReach {
+		// The retained Reachability references scratch arenas; hand them to
+		// the garbage collector so the next call cannot clobber it.
+		s.rs.Detach()
+	}
+	return res, nil
+}
+
+// coverFromReach is the WVC reduction proper: build the bipartite graph on
+// the relevant SESs/DESs of rc and solve it. Shared by lamb1FromReach and
+// Lamb1Count. The chosen sets are indexed by s.zr/s.zc, which stay valid
+// until the Solver's next computation.
+func (s *Solver) coverFromReach(f *mesh.FaultSet, cfg *config, rc *reach.Reachability) (*vcover.Cover, Stats) {
+	sigma := rc.Sigma[0]
+	delta := rc.Delta[len(rc.Delta)-1]
 
 	s.zr = rc.RK.AppendZeroRows(s.zr[:0])
 	s.zc = rc.RK.AppendZeroCols(s.zc[:0], &s.colCounts)
@@ -94,8 +124,7 @@ func (s *Solver) lamb1FromReach(f *mesh.FaultSet, orders routing.MultiOrder, cfg
 	}
 
 	cover := s.vs.SolveBipartite(bg)
-
-	st := Stats{
+	return cover, Stats{
 		Faults:      f.Count(),
 		NumSES:      sigma.Len(),
 		NumDES:      delta.Len(),
@@ -103,24 +132,60 @@ func (s *Solver) lamb1FromReach(f *mesh.FaultSet, orders routing.MultiOrder, cfg
 		RelevantDES: len(zc),
 		CoverWeight: cover.Weight,
 	}
-	res := newResult(f.Mesh(), orders, cfg, st, rc, func(emit func(mesh.Coord)) {
+}
+
+// defaultCfg is the option-free configuration Lamb1Count runs with; shared
+// and never written.
+var defaultCfg config
+
+// Lamb1Count runs the Lamb1 pipeline but returns only the stats and the
+// exact number of distinct lamb nodes, without materializing a Result. The
+// count comes from rectangle arithmetic: the chosen SESs are pairwise
+// disjoint (they come from one partition), as are the chosen DESs, so the
+// union size is sum|S| + sum_j (|D_j| - sum_i |D_j n S_i|) — identical to
+// Result.NumLambs() on the same inputs. Extension options (node values,
+// predetermined lambs) are not supported; use Lamb1 for those. In steady
+// state a Solver's Lamb1Count performs zero heap allocations at
+// workers <= 1 — the campaign trial loop is built on it.
+func (s *Solver) Lamb1Count(f *mesh.FaultSet, orders routing.MultiOrder, workers int) (Stats, int64, error) {
+	start := time.Now()
+	rc, err := reach.ComputeScratch(f, orders, workers, &s.rs)
+	if err != nil {
+		return Stats{}, 0, err
+	}
+	reachElapsed := time.Since(start)
+	cover, st := s.coverFromReach(f, &defaultCfg, rc)
+
+	sigma := rc.Sigma[0]
+	delta := rc.Delta[len(rc.Delta)-1]
+	zr, zc := s.zr, s.zc
+	var n int64
+	for ii, i := range zr {
+		if cover.Left[ii] {
+			n += sigma.Sets[i].Rect.Size()
+		}
+	}
+	for jj, j := range zc {
+		if !cover.Right[jj] {
+			continue
+		}
+		d := delta.Sets[j].Rect
+		n += d.Size()
 		for ii, i := range zr {
 			if cover.Left[ii] {
-				sigma.Sets[i].Rect.ForEach(emit)
+				n -= d.IntersectionSize(sigma.Sets[i].Rect)
 			}
 		}
-		for jj, j := range zc {
-			if cover.Right[jj] {
-				delta.Sets[j].Rect.ForEach(emit)
-			}
-		}
-	})
-	if cfg.keepReach {
-		// The retained Reachability references scratch arenas; hand them to
-		// the garbage collector so the next call cannot clobber it.
-		s.rs.Detach()
 	}
-	return res, nil
+
+	part := time.Duration(s.rs.PartitionNanos)
+	s.phases = PhaseTimes{
+		Partition: part,
+		Reach:     reachElapsed - part,
+		VCover:    time.Since(start) - reachElapsed,
+		Total:     time.Since(start),
+	}
+	return st, n, nil
 }
 
 // setWeight returns the total value of the nodes of r, excluding

@@ -116,12 +116,14 @@ func (g *Graph) bfs(s, t int, level []int, queue *[]int) bool {
 	for i := range level {
 		level[i] = -1
 	}
+	// Walk with a head index rather than re-slicing q = q[1:]: advancing the
+	// slice base would shrink the retained capacity and force a fresh
+	// allocation on every call.
 	q := (*queue)[:0]
 	level[s] = 0
 	q = append(q, s)
-	for len(q) > 0 {
-		v := q[0]
-		q = q[1:]
+	for head := 0; head < len(q); head++ {
+		v := q[head]
 		for _, id := range g.adj[v] {
 			e := g.heads[id]
 			if e.cap > 0 && level[e.to] < 0 {

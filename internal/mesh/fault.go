@@ -61,7 +61,19 @@ func NewFaultSet(m *Mesh) *FaultSet {
 // Mesh returns the mesh the fault set belongs to.
 func (f *FaultSet) Mesh() *Mesh { return f.m }
 
-// AddNode marks node c faulty. Adding a node twice is a no-op.
+// Reset empties the fault set in place, retaining map buckets and the
+// insertion-order backing arrays so a long-running trial loop can redraw
+// faults without allocating. Slices previously returned by NodeFaults or
+// LinkFaults are invalidated: later Add calls overwrite their contents.
+func (f *FaultSet) Reset() {
+	clear(f.nodes)
+	clear(f.links)
+	f.order = f.order[:0]
+	f.lord = f.lord[:0]
+}
+
+// AddNode marks node c faulty. Adding a node twice is a no-op. The
+// coordinate is copied, so callers may pass a reused scratch Coord.
 func (f *FaultSet) AddNode(c Coord) {
 	if !f.m.Contains(c) {
 		panic(fmt.Sprintf("mesh: fault %v outside %v", c, f.m))
@@ -71,6 +83,17 @@ func (f *FaultSet) AddNode(c Coord) {
 		return
 	}
 	f.nodes[idx] = struct{}{}
+	// Reuse a retained slot from a previous generation (see Reset) when one
+	// with the right arity is available.
+	if n := len(f.order); n < cap(f.order) {
+		f.order = f.order[:n+1]
+		if len(f.order[n]) == len(c) {
+			copy(f.order[n], c)
+			return
+		}
+		f.order[n] = c.Clone()
+		return
+	}
 	f.order = append(f.order, c.Clone())
 }
 
@@ -98,6 +121,16 @@ func (f *FaultSet) AddLink(l Link) {
 		return
 	}
 	f.links[k] = struct{}{}
+	if n := len(f.lord); n < cap(f.lord) {
+		f.lord = f.lord[:n+1]
+		if len(f.lord[n].From) == len(l.From) {
+			copy(f.lord[n].From, l.From)
+			f.lord[n].Dim, f.lord[n].Dir = l.Dim, l.Dir
+			return
+		}
+		f.lord[n] = Link{From: l.From.Clone(), Dim: l.Dim, Dir: l.Dir}
+		return
+	}
 	f.lord = append(f.lord, Link{From: l.From.Clone(), Dim: l.Dim, Dir: l.Dir})
 }
 

@@ -137,15 +137,22 @@ func (m *Mesh) Index(c Coord) int64 {
 
 // CoordOf converts a linear index back to a coordinate.
 func (m *Mesh) CoordOf(idx int64) Coord {
+	c := make(Coord, len(m.widths))
+	m.CoordInto(idx, c)
+	return c
+}
+
+// CoordInto converts a linear index to a coordinate in place: the
+// allocation-free form of CoordOf for trial loops that reuse one scratch
+// coordinate. dst must have length Dims().
+func (m *Mesh) CoordInto(idx int64, dst Coord) {
 	if idx < 0 || idx >= m.n {
 		panic(fmt.Sprintf("mesh: index %d outside [0,%d)", idx, m.n))
 	}
-	c := make(Coord, len(m.widths))
 	for i, w := range m.widths {
-		c[i] = int(idx % int64(w))
+		dst[i] = int(idx % int64(w))
 		idx /= int64(w)
 	}
-	return c
 }
 
 // ProfileIndex returns a value that uniquely identifies c among all nodes

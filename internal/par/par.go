@@ -95,3 +95,16 @@ func Blocks(workers, n int, fn func(lo, hi int)) {
 	}
 	wg.Wait()
 }
+
+// TrialSeed derives the deterministic RNG seed of one Monte Carlo trial.
+// Every stochastic layer in the repository (sim experiments, wormhole
+// sweeps, campaign shards) seeds trial t of stream s with
+// TrialSeed(seed, s, t), so a trial's randomness is a pure function of
+// (base seed, stream, trial) — independent of worker count and scheduling.
+// The fixed odd multiplier spreads per-stream seed blocks; any injective
+// map works, determinism is what matters. Streams index the outer grid
+// dimension (a sweep's rate index, a campaign's grid point); single-stream
+// callers pass stream 0, which reduces to seed + trial.
+func TrialSeed(seed int64, stream, trial int) int64 {
+	return seed + 1_000_003*int64(stream) + int64(trial)
+}

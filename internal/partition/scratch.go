@@ -27,6 +27,12 @@ type Scratch struct {
 	ints  intArena
 	ivals ivalArena
 
+	// Partition headers handed out by SES/DES. Recycled like the arenas:
+	// Reset rewinds np so headers (and their Sets backing) are reused,
+	// Detach forgets them so retained partitions stay valid.
+	parts []*Partition
+	np    int
+
 	// Per-call temporaries; never referenced after SES/DES returns.
 	tmpInts  intArena
 	tmpIvals ivalArena
@@ -34,6 +40,7 @@ type Scratch struct {
 	links    []mesh.Link
 	widths   []int
 	inv      []int
+	rev      routing.Order
 	levels   []*levelScratch
 }
 
@@ -112,6 +119,7 @@ func (a *ivalArena) detach() { a.buf, a.off = nil, 0 }
 func (s *Scratch) Reset() {
 	s.ints.reset()
 	s.ivals.reset()
+	s.np = 0
 }
 
 // Detach hands the escape arenas over to the garbage collector: previously
@@ -120,6 +128,23 @@ func (s *Scratch) Reset() {
 func (s *Scratch) Detach() {
 	s.ints.detach()
 	s.ivals.detach()
+	s.parts, s.np = nil, 0
+}
+
+// newPartition hands out a recycled Partition header, or a fresh one when
+// the pool is exhausted.
+func (s *Scratch) newPartition(kind Kind, pi routing.Order) *Partition {
+	if s.np < len(s.parts) {
+		p := s.parts[s.np]
+		s.np++
+		p.Kind, p.Order = kind, pi
+		p.Sets = p.Sets[:0]
+		return p
+	}
+	p := &Partition{Kind: kind, Order: pi}
+	s.parts = append(s.parts, p)
+	s.np++
+	return p
 }
 
 // SES returns an SES partition for fault set f and 1-round ordering pi,
@@ -158,7 +183,13 @@ func (s *Scratch) find(f *mesh.FaultSet, pi routing.Order, kind Kind) (*Partitio
 	order := pi
 	reverseLinks := false
 	if kind == Destination {
-		order = pi.Reverse()
+		// Reverse into a reusable buffer instead of pi.Reverse(): the
+		// working order never escapes this call.
+		s.rev = s.rev[:0]
+		for i := len(pi) - 1; i >= 0; i-- {
+			s.rev = append(s.rev, pi[i])
+		}
+		order = s.rev
 		reverseLinks = true
 	}
 
@@ -198,7 +229,7 @@ func (s *Scratch) find(f *mesh.FaultSet, pi routing.Order, kind Kind) (*Partitio
 
 	work := s.findAscending(0, widths, s.nodes, s.links)
 
-	p := &Partition{Kind: kind, Order: pi, Sets: make([]Set, 0, len(work))}
+	p := s.newPartition(kind, pi)
 	for _, wr := range work {
 		// Permute back to original dimensions (r[original dim j] =
 		// wr[inv[j]]) and take the min corner as representative, both out of

@@ -72,6 +72,19 @@ type Scratch struct {
 	chain   [2]*bitmat.Matrix
 	chainMs []*bitmat.Matrix
 	sweep   [][]bool
+
+	// Steady-state reuse for the shared compute path: the fault-index
+	// oracle is rebuilt in place, and the Reachability header (plus its
+	// Sigma/Delta/R/I slices) is recycled across calls. Both are forgotten
+	// by Detach so retained results stay valid.
+	oracle *routing.Oracle
+	rcHdr  *Reachability
+	// Round/pair dedup working state (replaces the map[string] caches of
+	// the scratch-free path; k is tiny, so linear Order comparison wins).
+	roundOf []int
+	firstR  []int
+	iOf     []int
+	firstI  []int
 }
 
 func (s *Scratch) reset() {
@@ -89,7 +102,68 @@ func (s *Scratch) Detach() {
 	s.chain = [2]*bitmat.Matrix{}
 	s.chainMs = nil
 	s.sweep = nil
+	s.oracle = nil
+	s.rcHdr = nil
 }
+
+// reuseOracle rebuilds the scratch-owned oracle for f (allocating it on
+// first use or after Detach).
+func (s *Scratch) reuseOracle(f *mesh.FaultSet) *routing.Oracle {
+	if s.oracle == nil {
+		s.oracle = routing.NewOracle(f)
+		return s.oracle
+	}
+	s.oracle.Rebuild(f)
+	return s.oracle
+}
+
+// header recycles the scratch-owned Reachability for a k-round computation,
+// with every slice resized in place and zeroed.
+func (s *Scratch) header(orders routing.MultiOrder, o *routing.Oracle, k int) *Reachability {
+	rc := s.rcHdr
+	if rc == nil {
+		rc = &Reachability{}
+		s.rcHdr = rc
+	}
+	rc.Orders = orders
+	rc.Oracle = o
+	rc.Sigma = resizeParts(rc.Sigma, k)
+	rc.Delta = resizeParts(rc.Delta, k)
+	rc.R = resizeMats(rc.R, k)
+	rc.I = resizeMats(rc.I, k-1)
+	rc.RK = nil
+	return rc
+}
+
+func resizeParts(p []*partition.Partition, n int) []*partition.Partition {
+	if cap(p) < n {
+		return make([]*partition.Partition, n)
+	}
+	p = p[:n]
+	for i := range p {
+		p[i] = nil
+	}
+	return p
+}
+
+func resizeMats(ms []*bitmat.Matrix, n int) []*bitmat.Matrix {
+	if cap(ms) < n {
+		return make([]*bitmat.Matrix, n)
+	}
+	ms = ms[:n]
+	for i := range ms {
+		ms[i] = nil
+	}
+	return ms
+}
+
+func resizeInts(xs []int, n int) []int {
+	if cap(xs) < n {
+		return make([]int, n)
+	}
+	return xs[:n]
+}
+
 
 // mat returns an all-zero rows x cols matrix from the pool, growing the pool
 // on first use of each slot.
@@ -136,10 +210,10 @@ func ComputeScratch(f *mesh.FaultSet, orders routing.MultiOrder, workers int, s 
 		return nil, err
 	}
 	workers = par.Clamp(workers)
-	shared := s != nil
-	if shared {
-		s.reset()
+	if s != nil {
+		return s.compute(f, orders, workers)
 	}
+
 	o := routing.NewOracle(f)
 	k := orders.Rounds()
 	rc := &Reachability{
@@ -167,11 +241,11 @@ func ComputeScratch(f *mesh.FaultSet, orders routing.MultiOrder, workers int, s 
 			distinct = append(distinct, rd)
 		}
 	}
-	buildRound := func(rd *roundData, ps *partition.Scratch, alloc func(rows, cols int) *bitmat.Matrix) {
-		var partStart time.Time
-		if shared {
-			partStart = time.Now()
-		}
+	// Distinct rounds of a non-uniform ordering build their partitions and
+	// R_t concurrently; each has its own partition scratch.
+	par.Do(workers, len(distinct), func(i int) {
+		rd := distinct[i]
+		ps := new(partition.Scratch)
 		pi := orders[rd.round]
 		sigma, err := ps.SES(f, pi)
 		if err != nil {
@@ -183,25 +257,11 @@ func ComputeScratch(f *mesh.FaultSet, orders routing.MultiOrder, workers int, s 
 			rd.err = err
 			return
 		}
-		if shared {
-			// Serial on the shared path (rounds share the arenas), so a
-			// plain add is race-free.
-			s.PartitionNanos += int64(time.Since(partStart))
-		}
 		rd.sigma = sigma
 		rd.delta = delta
-		rd.r = alloc(sigma.Len(), delta.Len())
+		rd.r = bitmat.New(sigma.Len(), delta.Len())
 		oneRoundMatrix(rd.r, o, pi, sigma, delta, workers)
-	}
-	if shared {
-		for _, rd := range distinct {
-			buildRound(rd, &s.Part, s.mat)
-		}
-	} else {
-		par.Do(workers, len(distinct), func(i int) {
-			buildRound(distinct[i], new(partition.Scratch), bitmat.New)
-		})
-	}
+	})
 	for _, rd := range distinct {
 		if rd.err != nil {
 			return nil, rd.err
@@ -229,41 +289,115 @@ func ComputeScratch(f *mesh.FaultSet, orders routing.MultiOrder, workers int, s 
 		iof[t] = di
 	}
 	ims := make([]*bitmat.Matrix, len(idistinct))
-	buildI := func(i int, alloc func(rows, cols int) *bitmat.Matrix) {
+	par.Do(workers, len(idistinct), func(i int) {
 		t := idistinct[i]
-		ims[i] = alloc(rc.Delta[t].Len(), rc.Sigma[t+1].Len())
+		ims[i] = bitmat.New(rc.Delta[t].Len(), rc.Sigma[t+1].Len())
 		intersectionMatrix(ims[i], rc.Delta[t], rc.Sigma[t+1], workers)
-	}
-	if shared {
-		for i := range idistinct {
-			buildI(i, s.mat)
-		}
-	} else {
-		par.Do(workers, len(idistinct), func(i int) {
-			buildI(i, bitmat.New)
-		})
-	}
+	})
 	for t := 0; t < k-1; t++ {
 		rc.I[t] = ims[iof[t]]
 	}
 
 	// R^(k) = R_1 I_1 R_2 ... I_{k-1} R_k.
-	var chainMs []*bitmat.Matrix
-	if shared {
-		chainMs = s.chainMs[:0]
-	} else {
-		chainMs = make([]*bitmat.Matrix, 0, 2*k-1)
-	}
+	chainMs := make([]*bitmat.Matrix, 0, 2*k-1)
 	chainMs = append(chainMs, rc.R[0])
 	for t := 0; t < k-1; t++ {
 		chainMs = append(chainMs, rc.I[t], rc.R[t+1])
 	}
-	if shared {
-		s.chainMs = chainMs
-		rc.RK = bitmat.MulChainScratch(workers, &s.chain, chainMs...)
-	} else {
-		rc.RK = bitmat.MulChainParallel(workers, chainMs...)
+	rc.RK = bitmat.MulChainParallel(workers, chainMs...)
+	return rc, nil
+}
+
+// compute is the scratch-sharing form of ComputeScratch: straight-line,
+// serial round construction (rounds share the partition arenas), with every
+// buffer — including the oracle's fault index, the Reachability header, and
+// the dedup working state — drawn from the Scratch. In steady state the
+// whole call performs zero heap allocations at workers=1; results stay
+// bit-identical to the scratch-free path at every worker count.
+func (s *Scratch) compute(f *mesh.FaultSet, orders routing.MultiOrder, workers int) (*Reachability, error) {
+	s.reset()
+	o := s.reuseOracle(f)
+	k := orders.Rounds()
+	rc := s.header(orders, o, k)
+
+	// Deduplicate identical per-round orderings (R_1 = R_2 = ... for a
+	// uniform ordering, as the paper notes). k is at most a handful, so a
+	// linear scan replaces the string-keyed map of the scratch-free path.
+	s.roundOf = resizeInts(s.roundOf, k)
+	s.firstR = s.firstR[:0]
+	for t := 0; t < k; t++ {
+		di := -1
+		for j, ft := range s.firstR {
+			if orders[t].Equal(orders[ft]) {
+				di = j
+				break
+			}
+		}
+		if di < 0 {
+			di = len(s.firstR)
+			s.firstR = append(s.firstR, t)
+		}
+		s.roundOf[t] = di
 	}
+	for j, ft := range s.firstR {
+		pi := orders[ft]
+		partStart := time.Now()
+		sigma, err := s.Part.SES(f, pi)
+		if err != nil {
+			return nil, err
+		}
+		delta, err := s.Part.DES(f, pi)
+		if err != nil {
+			return nil, err
+		}
+		s.PartitionNanos += int64(time.Since(partStart))
+		r := s.mat(sigma.Len(), delta.Len())
+		oneRoundMatrix(r, o, pi, sigma, delta, workers)
+		for t := 0; t < k; t++ {
+			if s.roundOf[t] == j {
+				rc.Sigma[t] = sigma
+				rc.Delta[t] = delta
+				rc.R[t] = r
+			}
+		}
+	}
+
+	// Intersection matrices, deduplicated by (ordering_t, ordering_{t+1})
+	// pair the same way.
+	s.iOf = resizeInts(s.iOf, k-1)
+	s.firstI = s.firstI[:0]
+	for t := 0; t < k-1; t++ {
+		di := -1
+		for j, ft := range s.firstI {
+			if orders[t].Equal(orders[ft]) && orders[t+1].Equal(orders[ft+1]) {
+				di = j
+				break
+			}
+		}
+		if di < 0 {
+			di = len(s.firstI)
+			s.firstI = append(s.firstI, t)
+		}
+		s.iOf[t] = di
+	}
+	for j, ft := range s.firstI {
+		im := s.mat(rc.Delta[ft].Len(), rc.Sigma[ft+1].Len())
+		intersectionMatrix(im, rc.Delta[ft], rc.Sigma[ft+1], workers)
+		for t := 0; t < k-1; t++ {
+			if s.iOf[t] == j {
+				rc.I[t] = im
+			}
+		}
+	}
+
+	// R^(k) = R_1 I_1 R_2 ... I_{k-1} R_k.
+	chainMs := s.chainMs[:0]
+	chainMs = append(chainMs, rc.R[0])
+	for t := 0; t < k-1; t++ {
+		chainMs = append(chainMs, rc.I[t], rc.R[t+1])
+	}
+	s.chainMs = chainMs
+	rc.RK = bitmat.MulChainScratch(workers, &s.chain, chainMs...)
 	return rc, nil
 }
 
@@ -271,28 +405,50 @@ func ComputeScratch(f *mesh.FaultSet, orders routing.MultiOrder, workers int, s 
 // the oracle on representatives (Lemma 4.1), one row of SESs per worker at a
 // time.
 func oneRoundMatrix(r *bitmat.Matrix, o *routing.Oracle, pi routing.Order, sigma, delta *partition.Partition, workers int) {
-	par.Do(workers, sigma.Len(), func(i int) {
-		s := sigma.Sets[i]
-		for j, d := range delta.Sets {
-			if o.ReachOne(pi, s.Rep, d.Rep) {
-				r.Set(i, j)
-			}
+	if workers <= 1 {
+		// Serial fast path: par.Do's closure escapes and would cost a heap
+		// allocation per matrix even when it runs inline.
+		for i := range sigma.Sets {
+			oneRoundRow(r, o, pi, sigma, delta, i)
 		}
+		return
+	}
+	par.Do(workers, sigma.Len(), func(i int) {
+		oneRoundRow(r, o, pi, sigma, delta, i)
 	})
+}
+
+func oneRoundRow(r *bitmat.Matrix, o *routing.Oracle, pi routing.Order, sigma, delta *partition.Partition, i int) {
+	s := sigma.Sets[i]
+	for j, d := range delta.Sets {
+		if o.ReachOne(pi, s.Rep, d.Rep) {
+			r.Set(i, j)
+		}
+	}
 }
 
 // intersectionMatrix fills im (all-zero, |delta| x |sigma|) with I_t:
 // I(j,i) = 1 iff D_j and S_i share a node. Each test is O(d) on the
 // rectangular abbreviations; rows are filled in parallel.
 func intersectionMatrix(im *bitmat.Matrix, delta, sigma *partition.Partition, workers int) {
-	par.Do(workers, delta.Len(), func(j int) {
-		d := delta.Sets[j]
-		for i, s := range sigma.Sets {
-			if d.Rect.Intersects(s.Rect) {
-				im.Set(j, i)
-			}
+	if workers <= 1 {
+		for j := range delta.Sets {
+			intersectionRow(im, delta, sigma, j)
 		}
+		return
+	}
+	par.Do(workers, delta.Len(), func(j int) {
+		intersectionRow(im, delta, sigma, j)
 	})
+}
+
+func intersectionRow(im *bitmat.Matrix, delta, sigma *partition.Partition, j int) {
+	d := delta.Sets[j]
+	for i, s := range sigma.Sets {
+		if d.Rect.Intersects(s.Rect) {
+			im.Set(j, i)
+		}
+	}
 }
 
 // ComputeWithSweep is the footnote-7 alternative to Compute: identical
@@ -328,20 +484,23 @@ func ComputeWithSweepScratch(f *mesh.FaultSet, orders routing.MultiOrder, worker
 	}
 	workers = par.Clamp(workers)
 	shared := s != nil
-	if shared {
-		s.reset()
-	}
-	o := routing.NewOracle(f)
 	k := orders.Rounds()
-	rc := &Reachability{
-		Orders: orders,
-		Oracle: o,
-		Sigma:  make([]*partition.Partition, k),
-		Delta:  make([]*partition.Partition, k),
-	}
+	var o *routing.Oracle
+	var rc *Reachability
 	ps := new(partition.Scratch)
 	if shared {
+		s.reset()
+		o = s.reuseOracle(f)
+		rc = s.header(orders, o, k)
 		ps = &s.Part
+	} else {
+		o = routing.NewOracle(f)
+		rc = &Reachability{
+			Orders: orders,
+			Oracle: o,
+			Sigma:  make([]*partition.Partition, k),
+			Delta:  make([]*partition.Partition, k),
+		}
 	}
 	partStart := time.Now()
 	sigma, err := ps.SES(f, orders[0])

@@ -102,6 +102,24 @@ func (r Rect) Intersect(o Rect) Rect {
 	return out
 }
 
+// IntersectionSize returns |r ∩ o| in O(d) time without materializing the
+// intersection box.
+func (r Rect) IntersectionSize(o Rect) int64 {
+	if len(r) != len(o) {
+		panic("rect: dimension mismatch")
+	}
+	n := int64(1)
+	for i := range r {
+		lo := max(r[i].Lo, o[i].Lo)
+		hi := min(r[i].Hi, o[i].Hi)
+		if hi < lo {
+			return 0
+		}
+		n *= int64(hi - lo + 1)
+	}
+	return n
+}
+
 // Intersects reports whether two boxes share a node, in O(d) time without
 // materializing the intersection (the intersection-matrix test of
 // Section 6.2).

@@ -29,36 +29,55 @@ type Oracle struct {
 	// links pointing in the +/- direction along dim.
 	posLink []map[int64][]int
 	negLink []map[int64][]int
+
+	// free recycles the value slices of a previous index across Rebuild
+	// calls so steady-state reindexing stays allocation-free.
+	free [][]int
 }
 
 // NewOracle indexes fault set f for reachability queries.
 func NewOracle(f *mesh.FaultSet) *Oracle {
+	o := &Oracle{}
+	o.Rebuild(f)
+	return o
+}
+
+// Rebuild re-indexes the oracle for fault set f, reusing the previous
+// index's map buckets and value slices: the steady-state form of NewOracle
+// for trial loops that redraw faults millions of times. The concurrency
+// guarantee above covers only the quiescent index — callers must make sure
+// no reader is in flight while Rebuild runs.
+func (o *Oracle) Rebuild(f *mesh.FaultSet) {
 	m := f.Mesh()
 	d := m.Dims()
-	o := &Oracle{
-		m:       m,
-		f:       f,
-		nodeIdx: make([]map[int64][]int, d),
-		posLink: make([]map[int64][]int, d),
-		negLink: make([]map[int64][]int, d),
-	}
-	for j := 0; j < d; j++ {
-		o.nodeIdx[j] = make(map[int64][]int)
-		o.posLink[j] = make(map[int64][]int)
-		o.negLink[j] = make(map[int64][]int)
+	o.m, o.f = m, f
+	if len(o.nodeIdx) != d {
+		o.nodeIdx = make([]map[int64][]int, d)
+		o.posLink = make([]map[int64][]int, d)
+		o.negLink = make([]map[int64][]int, d)
+		for j := 0; j < d; j++ {
+			o.nodeIdx[j] = make(map[int64][]int)
+			o.posLink[j] = make(map[int64][]int)
+			o.negLink[j] = make(map[int64][]int)
+		}
+	} else {
+		for j := 0; j < d; j++ {
+			o.recycle(o.nodeIdx[j])
+			o.recycle(o.posLink[j])
+			o.recycle(o.negLink[j])
+		}
 	}
 	for _, c := range f.NodeFaults() {
 		for j := 0; j < d; j++ {
-			p := m.ProfileIndex(c, j)
-			o.nodeIdx[j][p] = append(o.nodeIdx[j][p], c[j])
+			o.put(o.nodeIdx[j], m.ProfileIndex(c, j), c[j])
 		}
 	}
 	for _, l := range f.LinkFaults() {
 		p := m.ProfileIndex(l.From, l.Dim)
 		if l.Dir > 0 {
-			o.posLink[l.Dim][p] = append(o.posLink[l.Dim][p], l.From[l.Dim])
+			o.put(o.posLink[l.Dim], p, l.From[l.Dim])
 		} else {
-			o.negLink[l.Dim][p] = append(o.negLink[l.Dim][p], l.From[l.Dim])
+			o.put(o.negLink[l.Dim], p, l.From[l.Dim])
 		}
 	}
 	for j := 0; j < d; j++ {
@@ -68,7 +87,28 @@ func NewOracle(f *mesh.FaultSet) *Oracle {
 			}
 		}
 	}
-	return o
+}
+
+// put appends v to idx[p], seeding new profile entries from the recycle
+// pool so Rebuild converges to zero allocations.
+func (o *Oracle) put(idx map[int64][]int, p int64, v int) {
+	lst, ok := idx[p]
+	if !ok && len(o.free) > 0 {
+		lst = o.free[len(o.free)-1][:0]
+		o.free = o.free[:len(o.free)-1]
+	}
+	idx[p] = append(lst, v)
+}
+
+// recycle harvests the value slices of idx into the free pool and empties
+// the map in place (clear keeps the buckets).
+func (o *Oracle) recycle(idx map[int64][]int) {
+	for _, lst := range idx {
+		if cap(lst) > 0 {
+			o.free = append(o.free, lst[:0])
+		}
+	}
+	clear(idx)
 }
 
 // Mesh returns the oracle's topology.

@@ -56,6 +56,19 @@ func (o Order) Validate(d int) error {
 	if len(o) != d {
 		return fmt.Errorf("routing: ordering %v has %d entries; mesh has %d dimensions", o, len(o), d)
 	}
+	// A bitmask tracks the dimensions seen, so validation on realistic
+	// (d <= 64) meshes costs no allocation; trial loops validate millions
+	// of times.
+	if d <= 64 {
+		var seen uint64
+		for _, v := range o {
+			if v < 0 || v >= d || seen&(1<<uint(v)) != 0 {
+				return fmt.Errorf("routing: ordering %v is not a permutation of 0..%d", o, d-1)
+			}
+			seen |= 1 << uint(v)
+		}
+		return nil
+	}
 	seen := make([]bool, d)
 	for _, v := range o {
 		if v < 0 || v >= d || seen[v] {

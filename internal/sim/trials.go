@@ -58,7 +58,7 @@ func ForEachTrialSolver(cfg Config, trials int, fn func(trial int, rng *rand.Ran
 	if workers <= 1 {
 		s := core.NewSolver()
 		for t := 0; t < trials; t++ {
-			fn(t, rand.New(rand.NewSource(cfg.Seed+int64(t))), s)
+			fn(t, rand.New(rand.NewSource(par.TrialSeed(cfg.Seed, 0, t))), s)
 		}
 		return
 	}
@@ -70,7 +70,7 @@ func ForEachTrialSolver(cfg Config, trials int, fn func(trial int, rng *rand.Ran
 			defer wg.Done()
 			s := core.NewSolver()
 			for t := range next {
-				fn(t, rand.New(rand.NewSource(cfg.Seed+int64(t))), s)
+				fn(t, rand.New(rand.NewSource(par.TrialSeed(cfg.Seed, 0, t))), s)
 			}
 		}()
 	}

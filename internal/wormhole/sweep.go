@@ -111,9 +111,9 @@ func RunSweep(f *mesh.FaultSet, orders routing.MultiOrder, lambs []mesh.Coord, s
 	errs := make([]error, cells)
 	par.Do(spec.Workers, cells, func(ci int) {
 		ri, ti := ci/spec.Trials, ci%spec.Trials
-		// A fixed odd multiplier spreads the per-cell seeds; any injective
-		// map works, determinism is what matters.
-		rng := rand.New(rand.NewSource(spec.Seed + 1_000_003*int64(ri) + int64(ti)))
+		// Rate index = stream, so every cell's seed is the shared injective
+		// map of the repo-wide contract (see par.TrialSeed and DESIGN.md).
+		rng := rand.New(rand.NewSource(par.TrialSeed(spec.Seed, ri, ti)))
 		var res EngineResult
 		var err error
 		if live {

@@ -68,6 +68,8 @@ var requiredBenchmarks = []string{
 	"BenchmarkIncrementalAddFaults/full-delta=16",
 	"BenchmarkClassTableSwapQuery/cold",
 	"BenchmarkClassTableSwapQuery/warm",
+	"BenchmarkCampaignTrial",
+	"BenchmarkCampaignRun",
 }
 
 // budgetFile is the checked-in allocation budget table: for each benchmark,
