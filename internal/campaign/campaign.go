@@ -144,9 +144,13 @@ func buildGrid(spec *Spec) ([]*point, []*mesh.Mesh, error) {
 		for _, model := range spec.Models {
 			for _, proc := range spec.Procs {
 				sites := failureSites(m, model)
-				// Cap draws so a trial can always place its faults: at
-				// most half the drawable population keeps the rejection
-				// sampling in drawFaults fast and the mesh non-degenerate.
+				// Cap draws at half the drawable population: it keeps the
+				// rejection sampling in drawFaults fast, the mesh
+				// non-degenerate, and (via newSampler's tail check) rejects
+				// fault processes the cap would misrepresent. Under
+				// ModelMixed a capped draw can still exceed what the mesh
+				// absorbs — node faults kill incident links — in which case
+				// drawFaults stops at saturation.
 				maxCount := int(sites / 2)
 				if maxCount < 1 {
 					maxCount = 1

@@ -259,6 +259,9 @@ func TestSpecValidation(t *testing.T) {
 		"no trials":    func(s *Spec) { s.Trials = 0 },
 		"bad mesh":     func(s *Spec) { s.Meshes = [][]int{{0, 4}} },
 		"bad proc":     func(s *Spec) { s.Procs = []ProcSpec{{Proc: ProcMTBF, Theta: -1, Mission: 1}} },
+		// Failure probability so high the half-population cap would cut
+		// off most of the count distribution: rejected, not truncated.
+		"truncating proc": func(s *Spec) { s.Procs = []ProcSpec{{Proc: ProcMTBF, Theta: 1, Mission: 1e9}} },
 	} {
 		spec := base
 		mut(&spec)

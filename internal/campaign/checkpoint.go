@@ -20,7 +20,10 @@ import (
 // renamed over <path>. A crash mid-write leaves the previous snapshot
 // intact.
 
-const checkpointSchema = "lambmesh-campaign-checkpoint/v1"
+// The schema tag also versions the trial-seed derivation (par.TrialSeed):
+// aggregates snapshotted under one derivation cannot be continued under
+// another, so changing it bumps the version. v2 = splitmix64-mixed seeds.
+const checkpointSchema = "lambmesh-campaign-checkpoint/v2"
 
 type checkpoint struct {
 	Schema string `json:"schema"`

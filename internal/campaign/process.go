@@ -128,10 +128,20 @@ type sampler struct {
 	cum    []float64
 }
 
+// maxTruncTail is the largest Binomial tail mass the maxCount cap may
+// silently absorb — at most one trial in ten thousand draws the capped
+// count instead of its true one, invisible next to Monte Carlo noise.
+// Above it the capped draw would visibly diverge from the declared fault
+// process, so newSampler rejects the spec instead.
+const maxTruncTail = 1e-4
+
 // newSampler builds the per-point sampler. n is the number of failure
 // sites (nodes for ModelNode, directed links for ModelLink, their sum for
 // ModelMixed); maxCount caps the draw so a trial can never exceed the
-// drawable population.
+// drawable population. Specs whose mission failure probability puts more
+// than maxTruncTail of the count distribution above the cap are rejected:
+// truncating that much mass would simulate a different process than the
+// one declared.
 func newSampler(ps ProcSpec, n int64, maxCount int) (*sampler, error) {
 	if ps.Proc == ProcFixed {
 		if ps.Count < 0 || ps.Count > maxCount {
@@ -144,27 +154,34 @@ func newSampler(ps ProcSpec, n int64, maxCount int) (*sampler, error) {
 		return nil, err
 	}
 	s := &sampler{}
-	s.tabulate(n, p, maxCount)
+	if tail := s.tabulate(n, p, maxCount); tail > maxTruncTail {
+		return nil, fmt.Errorf("campaign: %v puts %.3g of its fault-count mass above %d faults (half the %d drawable sites); capping there would misrepresent the declared process — lower the mission time or failure probability", ps, tail, maxCount, n)
+	}
 	return s, nil
 }
 
 // tabulate builds the inverse-CDF table of Binomial(n, p), truncated to
 // counts with non-negligible mass (and to maxCount). Log-space recurrence
-// keeps the probabilities from underflowing at large n.
-func (s *sampler) tabulate(n int64, p float64, maxCount int) {
+// keeps the probabilities from underflowing at large n. It returns the
+// probability mass the maxCount cap cut off (the window truncation at
+// mean+12σ is negligible by construction), which the last table entry
+// absorbs.
+func (s *sampler) tabulate(n int64, p float64, maxCount int) float64 {
 	if p <= 0 || n == 0 {
 		s.counts = append(s.counts, 0)
 		s.cum = append(s.cum, 1)
-		return
+		return 0
 	}
 	if p >= 1 {
 		c := int(n)
+		tail := 0.0
 		if c > maxCount {
 			c = maxCount
+			tail = 1 // the whole point mass at n sits above the cap
 		}
 		s.counts = append(s.counts, c)
 		s.cum = append(s.cum, 1)
-		return
+		return tail
 	}
 	// log pmf(0) = n log(1-p); pmf(k+1)/pmf(k) = (n-k)/(k+1) * p/(1-p).
 	logOdds := math.Log(p) - math.Log1p(-p)
@@ -193,6 +210,11 @@ func (s *sampler) tabulate(n int64, p float64, maxCount int) {
 		s.cum[i] /= total
 	}
 	s.cum[len(s.cum)-1] = 1
+	tail := 1 - total
+	if tail < 0 {
+		tail = 0
+	}
+	return tail
 }
 
 // draw spends one uniform from r and returns the trial's fault count.
@@ -213,13 +235,22 @@ func (s *sampler) draw(r *rng) int {
 	return s.counts[lo]
 }
 
-// drawFaults fills f with exactly count faults of the given model, using
-// only r's deterministic stream and the caller's scratch coordinates. All
-// paths reuse f's backing storage (mesh.FaultSet.Reset contract), so the
-// steady-state cost is allocation-free.
+// drawFaults fills f with count faults of the given model, using only r's
+// deterministic stream and the caller's scratch coordinates. If the count
+// exceeds what the mesh can still absorb — reachable only under ModelMixed,
+// whose site population counts links that node faults kill as a side
+// effect — the draw stops when the last node dies (the mesh is saturated:
+// with every node faulty neither a node nor a link draw can ever succeed)
+// instead of rejection-sampling forever; callers observe the placed count
+// via f.Count(). All paths reuse f's backing storage (mesh.FaultSet.Reset
+// contract), so the steady-state cost is allocation-free.
 func drawFaults(m *mesh.Mesh, f *mesh.FaultSet, model Model, count int, r *rng, c, head mesh.Coord) {
 	f.Reset()
+	liveNodes := m.Nodes()
 	for f.Count() < count {
+		if liveNodes == 0 {
+			return
+		}
 		kind := model
 		if model == ModelMixed {
 			if r.next()&1 == 0 {
@@ -234,6 +265,7 @@ func drawFaults(m *mesh.Mesh, f *mesh.FaultSet, model Model, count int, r *rng, 
 				continue
 			}
 			f.AddNode(c)
+			liveNodes--
 			continue
 		}
 		// Link fault: a random tail, dimension, and direction; retry until

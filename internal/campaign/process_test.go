@@ -107,13 +107,64 @@ func TestSamplerEdgeCases(t *testing.T) {
 	if got := s.draw(&r); got != 0 {
 		t.Fatalf("p=0 sampler drew %d", got)
 	}
-	// Mission >> theta: p indistinguishable from 1, every draw capped.
-	s, err = newSampler(ProcSpec{Proc: ProcMTBF, Mission: 1e9, Theta: 1}, 100, 50)
+	// Mission >> theta: p indistinguishable from 1. With the cap below the
+	// population the whole point mass sits above it — rejected, not capped.
+	if _, err := newSampler(ProcSpec{Proc: ProcMTBF, Mission: 1e9, Theta: 1}, 100, 50); err == nil {
+		t.Fatal("p~1 spec with cap below population should be rejected")
+	}
+	// With the cap at the full population it is representable exactly.
+	s, err = newSampler(ProcSpec{Proc: ProcMTBF, Mission: 1e9, Theta: 1}, 100, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := s.draw(&r); got != 50 {
-		t.Fatalf("p~1 sampler drew %d, want the 50 cap", got)
+	if got := s.draw(&r); got != 100 {
+		t.Fatalf("p~1 sampler drew %d, want all 100 sites", got)
+	}
+}
+
+// TestSamplerRejectsTruncation pins the tail check: a process whose count
+// distribution has appreciable mass above the cap is rejected at build time
+// instead of silently simulating a different process, while one whose mass
+// sits comfortably below the cap still builds.
+func TestSamplerRejectsTruncation(t *testing.T) {
+	// p = 0.9: mean 900 of 1000 sites, nearly all mass above the 500 cap.
+	hot := ProcSpec{Proc: ProcMTBF, Mission: math.Log(10), Theta: 1}
+	if _, err := newSampler(hot, 1000, 500); err == nil {
+		t.Fatal("p=0.9 spec should be rejected at a 500/1000 cap")
+	}
+	// p = 0.4: mean 400, sd ~15.5 — the 500 cap is 6.4 sigma out, tail
+	// mass far below the threshold.
+	warm := ProcSpec{Proc: ProcMTBF, Mission: -math.Log(0.6), Theta: 1}
+	s, err := newSampler(warm, 1000, 500)
+	if err != nil {
+		t.Fatalf("p=0.4 spec should build: %v", err)
+	}
+	r := newRNG(3)
+	if c := s.draw(&r); c < 0 || c > 500 {
+		t.Fatalf("draw %d outside [0,500]", c)
+	}
+}
+
+// TestDrawFaultsSaturates pins the ModelMixed termination guarantee: a
+// count above what the mesh can absorb (node faults kill incident links,
+// so the mixed site population overstates capacity) must stop at
+// saturation — every node faulty — rather than rejection-sample forever.
+func TestDrawFaultsSaturates(t *testing.T) {
+	m := mesh.MustNew(3, 3)
+	f := mesh.NewFaultSet(m)
+	c := make(mesh.Coord, m.Dims())
+	h := make(mesh.Coord, m.Dims())
+	sites := int(failureSites(m, ModelMixed))
+	for seed := int64(0); seed < 50; seed++ {
+		r := newRNG(seed)
+		drawFaults(m, f, ModelMixed, sites, &r, c, h) // over-ask: > capacity
+		if got := f.NumNodeFaults(); got != int(m.Nodes()) {
+			t.Fatalf("seed %d: saturated draw left %d of %d nodes alive",
+				seed, int(m.Nodes())-got, m.Nodes())
+		}
+		if f.Count() > sites {
+			t.Fatalf("seed %d: placed %d faults on %d sites", seed, f.Count(), sites)
+		}
 	}
 }
 

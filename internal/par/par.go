@@ -101,10 +101,24 @@ func Blocks(workers, n int, fn func(lo, hi int)) {
 // sweeps, campaign shards) seeds trial t of stream s with
 // TrialSeed(seed, s, t), so a trial's randomness is a pure function of
 // (base seed, stream, trial) — independent of worker count and scheduling.
-// The fixed odd multiplier spreads per-stream seed blocks; any injective
-// map works, determinism is what matters. Streams index the outer grid
-// dimension (a sweep's rate index, a campaign's grid point); single-stream
-// callers pass stream 0, which reduces to seed + trial.
+//
+// The derivation mixes a per-stream base (seed plus stream strides of the
+// golden gamma) through the splitmix64 finalizer, adds the trial index, and
+// finalizes again. Within a stream every trial budget gets distinct seeds —
+// the finalizer is a 64-bit bijection and the trial offset an exact add —
+// and across streams the mixed bases leave no arithmetic structure for
+// collisions, unlike an affine map seed + k*stream + trial whose adjacent
+// streams replay each other's tails once trial counts reach k. Streams
+// index the outer grid dimension (a sweep's rate index, a campaign's grid
+// point); single-stream callers pass stream 0.
 func TrialSeed(seed int64, stream, trial int) int64 {
-	return seed + 1_000_003*int64(stream) + int64(trial)
+	base := mix64(uint64(seed) + 0x9e3779b97f4a7c15*uint64(int64(stream)))
+	return int64(mix64(base + uint64(int64(trial))))
+}
+
+// mix64 is the splitmix64 finalizer, a bijection on 64-bit words.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }

@@ -58,6 +58,35 @@ func TestBlocksPartitionExact(t *testing.T) {
 	}
 }
 
+// TestTrialSeedDistinct pins the collision-freedom of the seed derivation:
+// campaigns run millions of trials per stream, so neighbouring streams must
+// not replay each other's seed sequences at any trial offset (the failure
+// mode of an affine seed + k*stream + trial map), and a dense sample of
+// (stream, trial) pairs must map to pairwise-distinct seeds.
+func TestTrialSeedDistinct(t *testing.T) {
+	const seed = 42
+	// The affine map's exact collision pattern: stream g trial t vs stream
+	// g+1 trial t-k for the old multiplier k and nearby offsets.
+	for _, k := range []int{1_000_003, 1_000_002, 1_000_004, 1, 2} {
+		for trial := k; trial < k+64; trial++ {
+			if TrialSeed(seed, 0, trial) == TrialSeed(seed, 1, trial-k) {
+				t.Fatalf("streams 0 and 1 collide at trials %d and %d", trial, trial-k)
+			}
+		}
+	}
+	seen := make(map[int64][2]int)
+	for stream := 0; stream < 64; stream++ {
+		for trial := 0; trial < 4096; trial++ {
+			s := TrialSeed(seed, stream, trial)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: (%d,%d) and (%d,%d) -> %d",
+					prev[0], prev[1], stream, trial, s)
+			}
+			seen[s] = [2]int{stream, trial}
+		}
+	}
+}
+
 // With workers <= 1 both helpers must run inline on the calling goroutine —
 // callers rely on this for the serial fallback.
 func TestInlineWhenSerial(t *testing.T) {

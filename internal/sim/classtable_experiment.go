@@ -6,6 +6,7 @@ import (
 
 	"lambmesh/internal/classtable"
 	"lambmesh/internal/mesh"
+	"lambmesh/internal/par"
 	"lambmesh/internal/routing"
 )
 
@@ -55,7 +56,7 @@ func runClassTable(cfg Config) *Table {
 		good := int(m.Nodes()) - c.faults
 		var sumSES, sumDES, sumPairs, sumBuild, sumFilled float64
 		for trial := 0; trial < trials; trial++ {
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(trial)))
+			rng := rand.New(rand.NewSource(par.TrialSeed(cfg.Seed, 0, trial)))
 			fs := mesh.RandomNodeFaults(m, c.faults, rng)
 			tab, err := classtable.New(fs, orders, cfg.Workers)
 			if err != nil {

@@ -7,6 +7,7 @@ import (
 
 	"lambmesh/internal/core"
 	"lambmesh/internal/mesh"
+	"lambmesh/internal/par"
 	"lambmesh/internal/routing"
 	"lambmesh/internal/wormhole"
 )
@@ -44,7 +45,7 @@ func runIncReconfig(cfg Config) *Table {
 	for _, delta := range []int{1, 4, 16} {
 		var incSum, fullSum time.Duration
 		for ti := 0; ti < trials; ti++ {
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(ti)))
+			rng := rand.New(rand.NewSource(par.TrialSeed(cfg.Seed, 0, ti)))
 			all := mesh.RandomNodeFaults(m, 31+delta, rng).NodeFaults()
 			seed, batch := all[:31], all[31:]
 			incSum += timeAddFaults(m, orders, seed, batch, true)
@@ -60,8 +61,8 @@ func runIncReconfig(cfg Config) *Table {
 		lm := mesh.MustNew(widths...)
 		var incSum, fullSum time.Duration
 		for ti := 0; ti < trials; ti++ {
-			incSum += liveRecomputeStall(lm, cfg.Seed+int64(ti), true)
-			fullSum += liveRecomputeStall(lm, cfg.Seed+int64(ti), false)
+			incSum += liveRecomputeStall(lm, par.TrialSeed(cfg.Seed, 0, ti), true)
+			fullSum += liveRecomputeStall(lm, par.TrialSeed(cfg.Seed, 0, ti), false)
 		}
 		addStallRow(t, fmt.Sprintf("live %v rate 0.01", lm), 2, incSum, fullSum, trials)
 	}

@@ -17,7 +17,9 @@ type Config struct {
 	// check of Section 3); smaller counts reproduce the same shapes much
 	// faster.
 	Trials int
-	// Seed makes every run reproducible; trial t uses Seed + t.
+	// Seed makes every run reproducible; trial t draws from a generator
+	// seeded with par.TrialSeed(Seed, 0, t) (the repo-wide contract,
+	// DESIGN.md §12).
 	Seed int64
 	// Workers bounds trial parallelism; <= 0 means NumCPU.
 	Workers int
