@@ -324,6 +324,42 @@ func BenchmarkWormholeRun(b *testing.B) {
 	}
 }
 
+// BenchmarkStrategyRoute: one routed message per op through each bake-off
+// strategy on a faulty 16x16 mesh — the per-packet planning cost the
+// bakeoff experiment pays (lamb oracle lookups, ring detour construction,
+// adaptive two-layer BFS).
+func BenchmarkStrategyRoute(b *testing.B) {
+	m := mesh.MustNew(16, 16)
+	f := mesh.RandomNodeFaults(m, 8, rand.New(rand.NewSource(4)))
+	orders := routing.UniformAscending(2, 2)
+	for _, name := range wormhole.StrategyNames() {
+		b.Run(name, func(b *testing.B) {
+			builder, err := wormhole.NewStrategyBuilder(name, orders)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := builder(f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			survivors := wormhole.Survivors(s.Faults(), s.Sacrificed())
+			rng := rand.New(rand.NewSource(9))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src := survivors[rng.Intn(len(survivors))]
+				dst := survivors[rng.Intn(len(survivors))]
+				for dst.Equal(src) {
+					dst = survivors[rng.Intn(len(survivors))]
+				}
+				if _, _, err := s.Route(src, dst, i, 8, 0, 2, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkTrafficEngine: the open-loop traffic engine's cycle loop —
 // warm-up, measurement, and drain over a Bernoulli workload on a faulty
 // 16x16 mesh — with the engine built once and rewound with Reset between

@@ -48,6 +48,12 @@ func TestGoldenOutputs(t *testing.T) {
 		{"live-table.txt", smallArgs("-fault-schedule", "testdata/schedule.txt")},
 		{"live-csv.txt", smallArgs("-fault-schedule", "testdata/schedule.txt", "-format", "csv")},
 		{"live-json.txt", smallArgs("-fault-schedule", "testdata/schedule.txt", "-format", "json")},
+		{"strategy-ring-table.txt", smallArgs("-strategy", "ring", "-sweep", "-rates", "0.01,0.05")},
+		{"strategy-ring-csv.txt", smallArgs("-strategy", "ring", "-sweep", "-rates", "0.01,0.05", "-format", "csv")},
+		{"strategy-ring-json.txt", smallArgs("-strategy", "ring", "-sweep", "-rates", "0.01,0.05", "-format", "json")},
+		{"strategy-adaptive-table.txt", smallArgs("-strategy", "adaptive", "-sweep", "-rates", "0.01,0.05")},
+		{"strategy-adaptive-csv.txt", smallArgs("-strategy", "adaptive", "-sweep", "-rates", "0.01,0.05", "-format", "csv")},
+		{"strategy-adaptive-json.txt", smallArgs("-strategy", "adaptive", "-sweep", "-rates", "0.01,0.05", "-format", "json")},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -11,6 +11,13 @@
 //	        -trials 4 -format csv
 //	wormsim -mesh 16x16 -faults 8 -rate 0.02 -fault-schedule events.txt
 //	wormsim -mesh 16x16 -faults 8 -rate 0.02 -mtbf 400
+//	wormsim -mesh 16x16 -faults 10 -rate 0.02 -strategy ring
+//
+// -strategy selects the routing data plane: lamb (the paper's scheme, the
+// default), ring (the Boppana–Chalasani fault-ring baseline; reports
+// sacrificed nodes instead of lambs), or adaptive (negative-first turn
+// model). Each strategy runs against the same fault draw but its own seed
+// stream, with the fault-free baseline routed by the same strategy.
 //
 // With -fault-schedule or -mtbf the lamb case becomes a live run: the
 // scheduled (or randomly drawn) faults strike mid-simulation, the lamb set
@@ -61,6 +68,7 @@ type cliConfig struct {
 	rates    []float64
 	baseline bool
 	format   string
+	strategy string
 
 	schedule wormhole.FaultSchedule
 	mtbf     float64
@@ -97,6 +105,7 @@ func parseConfig(args []string) (*cliConfig, error) {
 		format      = fs.String("format", "table", "output format: table, csv, json")
 		schedFlag   = fs.String("fault-schedule", "", "fault-schedule file: faults injected mid-run into the lamb case (baseline stays clean)")
 		mtbf        = fs.Float64("mtbf", 0, "mean cycles between random mid-run node faults in the lamb case; 0 disables")
+		strategy    = fs.String("strategy", "lamb", "routing strategy: lamb, ring (Boppana-Chalasani fault rings), adaptive (negative-first)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -118,6 +127,10 @@ func parseConfig(args []string) (*cliConfig, error) {
 	case "table", "csv", "json":
 	default:
 		return nil, fmt.Errorf("unknown format %q (want table, csv, or json)", *format)
+	}
+	cfg.strategy = *strategy
+	if _, err := wormhole.StrategyIndex(cfg.strategy); err != nil {
+		return nil, err
 	}
 	if *sweep {
 		cfg.rates = defaultSweepRates
@@ -208,23 +221,30 @@ type sweepRow struct {
 	Unrecovered  int     `json:"unrecovered"`
 }
 
-// report is the full JSON document; table/csv emit only the rows.
+// report is the full JSON document; table/csv emit only the rows. Strategy
+// and Sacrificed are set only by -strategy ring|adaptive runs (omitempty
+// keeps the default lamb JSON byte-identical to earlier releases).
 type report struct {
-	Mesh      string     `json:"mesh"`
-	Faults    int        `json:"faults"`
-	Lambs     int        `json:"lambs"`
-	Survivors int        `json:"survivors"`
-	Rounds    int        `json:"rounds"`
-	VCs       int        `json:"vcs"`
-	Pattern   string     `json:"pattern"`
-	Packet    int        `json:"packetFlits"`
-	Trials    int        `json:"trials"`
-	Seed      int64      `json:"seed"`
-	Live      bool       `json:"live"` // mid-run fault injection active
-	Rows      []sweepRow `json:"rows"`
+	Mesh       string     `json:"mesh"`
+	Faults     int        `json:"faults"`
+	Lambs      int        `json:"lambs"`
+	Survivors  int        `json:"survivors"`
+	Rounds     int        `json:"rounds"`
+	VCs        int        `json:"vcs"`
+	Pattern    string     `json:"pattern"`
+	Packet     int        `json:"packetFlits"`
+	Trials     int        `json:"trials"`
+	Seed       int64      `json:"seed"`
+	Live       bool       `json:"live"` // mid-run fault injection active
+	Strategy   string     `json:"strategy,omitempty"`
+	Sacrificed int        `json:"sacrificed,omitempty"`
+	Rows       []sweepRow `json:"rows"`
 }
 
 func run(cfg *cliConfig, w io.Writer) error {
+	if cfg.strategy != "lamb" {
+		return runStrategy(cfg, w)
+	}
 	m, err := mesh.New(cfg.widths...)
 	if err != nil {
 		return err
@@ -291,6 +311,91 @@ func run(cfg *cliConfig, w io.Writer) error {
 	return render(w, cfg.format, rep)
 }
 
+// runStrategy is the -strategy ring|adaptive path: the same sweep harness
+// as run, routed through a RouteStrategy instead of the lamb data plane.
+// Each strategy draws from its own TrialSeed stream block (StrategyStream),
+// so cross-strategy comparisons at one seed are independent samples, and
+// the fault draw is shared, so they face the identical fault set. The
+// baseline runs the same strategy on the fault-free mesh — a strategy's
+// fault-free behavior is its own reference, not lamb's.
+func runStrategy(cfg *cliConfig, w io.Writer) error {
+	m, err := mesh.New(cfg.widths...)
+	if err != nil {
+		return err
+	}
+	faults := mesh.RandomNodeFaults(m, cfg.nFaults, rand.New(rand.NewSource(cfg.seed)))
+	orders := routing.UniformAscending(m.Dims(), cfg.k)
+	stream, err := wormhole.StrategyIndex(cfg.strategy)
+	if err != nil {
+		return err
+	}
+	builder, err := wormhole.NewStrategyBuilder(cfg.strategy, orders)
+	if err != nil {
+		return err
+	}
+	strat, err := builder(faults)
+	if err != nil {
+		return err
+	}
+	if cfg.vcs < strat.MinVCs() {
+		return fmt.Errorf("strategy %s needs at least %d VCs (got -vcs %d)",
+			cfg.strategy, strat.MinVCs(), cfg.vcs)
+	}
+
+	spec := wormhole.SweepSpec{
+		Rates:           cfg.rates,
+		Trials:          cfg.trials,
+		Pattern:         cfg.pattern,
+		PacketFlits:     cfg.packet,
+		HotspotFraction: cfg.hotspot,
+		Warmup:          cfg.warmup,
+		Measure:         cfg.measure,
+		Drain:           cfg.drain,
+		Net: wormhole.Config{
+			VirtualChannels: cfg.vcs,
+			BufferDepth:     cfg.buffer,
+			StallCycles:     2000,
+			MaxCycles:       5_000_000,
+		},
+		Seed:           cfg.seed,
+		Workers:        cfg.workers,
+		Strategy:       builder,
+		StrategyStream: stream,
+	}
+
+	rep := report{
+		Mesh:       fmt.Sprint(m),
+		Faults:     faults.Count(),
+		Survivors:  len(wormhole.Survivors(faults, strat.Sacrificed())),
+		Rounds:     cfg.k,
+		VCs:        cfg.vcs,
+		Pattern:    cfg.pattern.String(),
+		Packet:     cfg.packet,
+		Trials:     cfg.trials,
+		Seed:       cfg.seed,
+		Live:       cfg.live(),
+		Strategy:   cfg.strategy,
+		Sacrificed: len(strat.Sacrificed()),
+	}
+	faultySpec := spec
+	faultySpec.Schedule = cfg.schedule
+	faultySpec.MTBF = cfg.mtbf
+	faulty, err := wormhole.RunSweep(faults, orders, nil, faultySpec)
+	if err != nil {
+		return err
+	}
+	rep.Rows = appendRows(rep.Rows, cfg.strategy, faulty)
+	if cfg.baseline {
+		free := mesh.NewFaultSet(m)
+		base, err := wormhole.RunSweep(free, orders, nil, spec)
+		if err != nil {
+			return err
+		}
+		rep.Rows = appendRows(rep.Rows, "baseline", base)
+	}
+	return render(w, cfg.format, rep)
+}
+
 func appendRows(rows []sweepRow, name string, points []wormhole.SweepPoint) []sweepRow {
 	for _, p := range points {
 		util := make([]string, len(p.VCMeanUtil))
@@ -337,9 +442,15 @@ func render(w io.Writer, format string, rep report) error {
 		}
 		return nil
 	default: // table
-		fmt.Fprintf(w, "mesh %s, %d faults, %d lambs, %d survivors, %d rounds on %d VCs, pattern %s, %d-flit packets, %d trials, seed %d\n",
-			rep.Mesh, rep.Faults, rep.Lambs, rep.Survivors, rep.Rounds, rep.VCs,
-			rep.Pattern, rep.Packet, rep.Trials, rep.Seed)
+		if rep.Strategy != "" {
+			fmt.Fprintf(w, "mesh %s, strategy %s, %d faults, %d sacrificed, %d survivors, %d VCs, pattern %s, %d-flit packets, %d trials, seed %d\n",
+				rep.Mesh, rep.Strategy, rep.Faults, rep.Sacrificed, rep.Survivors, rep.VCs,
+				rep.Pattern, rep.Packet, rep.Trials, rep.Seed)
+		} else {
+			fmt.Fprintf(w, "mesh %s, %d faults, %d lambs, %d survivors, %d rounds on %d VCs, pattern %s, %d-flit packets, %d trials, seed %d\n",
+				rep.Mesh, rep.Faults, rep.Lambs, rep.Survivors, rep.Rounds, rep.VCs,
+				rep.Pattern, rep.Packet, rep.Trials, rep.Seed)
+		}
 		header := fmt.Sprintf("%-9s %8s %9s %9s %10s %8s %7s %9s %5s %5s",
 			"case", "rate", "offered", "accepted", "mean_lat", "p99_lat", "max_lat", "delivered", "sat", "dead")
 		if rep.Live {

@@ -93,6 +93,7 @@ func TestParseConfigErrors(t *testing.T) {
 		{"-format", "xml"},               // unknown format
 		{"-trials", "0"},                 // no trials
 		{"-measure", "0"},                // empty window
+		{"-strategy", "ecube"},           // unknown strategy
 		{"-nosuchflag"},                  // flag package error path
 	} {
 		if _, err := parseConfig(args); err == nil {
@@ -174,6 +175,49 @@ func TestRunByteIdenticalAcrossWorkers(t *testing.T) {
 	}
 	if outs[0] != outs[1] || outs[1] != outs[2] {
 		t.Fatalf("output differs across -workers:\n%q\n%q\n%q", outs[0], outs[1], outs[2])
+	}
+}
+
+// TestRunStrategyReport checks the -strategy path end to end: the JSON
+// report carries the strategy name, rows are labeled with it, and the ring
+// strategy errors out rather than running with fewer VCs than its
+// discipline needs.
+func TestRunStrategyReport(t *testing.T) {
+	out := runWormsim(t, smallArgs("-strategy", "adaptive", "-format", "json", "-baseline=false"))
+	var rep report
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("json output does not parse: %v\n%s", err, out)
+	}
+	if rep.Strategy != "adaptive" || len(rep.Rows) != 1 || rep.Rows[0].Case != "adaptive" {
+		t.Fatalf("strategy report mislabeled: %+v", rep)
+	}
+	if rep.Lambs != 0 {
+		t.Fatalf("strategy report should not count lambs: %+v", rep)
+	}
+
+	cfg, err := parseConfig(smallArgs("-strategy", "ring", "-vcs", "1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err == nil || !strings.Contains(err.Error(), "at least 2 VCs") {
+		t.Fatalf("ring with 1 VC should be rejected, got %v", err)
+	}
+}
+
+// TestRunStrategyByteIdenticalAcrossWorkers extends the CLI determinism
+// check to the strategy data planes.
+func TestRunStrategyByteIdenticalAcrossWorkers(t *testing.T) {
+	for _, strategy := range []string{"ring", "adaptive"} {
+		var outs []string
+		for _, workers := range []string{"1", "4"} {
+			outs = append(outs, runWormsim(t, smallArgs(
+				"-strategy", strategy, "-sweep", "-rates", "0.01,0.08",
+				"-format", "csv", "-workers", workers)))
+		}
+		if outs[0] != outs[1] {
+			t.Fatalf("%s output differs across -workers:\n%q\n%q", strategy, outs[0], outs[1])
+		}
 	}
 }
 

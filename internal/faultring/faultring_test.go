@@ -1,0 +1,314 @@
+package faultring
+
+import (
+	"testing"
+
+	"lambmesh/internal/mesh"
+)
+
+// validatePath checks a Route result end to end: endpoints, unit steps,
+// active nodes only, and no faulty links.
+func validatePath(t *testing.T, f *mesh.FaultSet, mod *Model, src, dst mesh.Coord, path []mesh.Coord) {
+	t.Helper()
+	if len(path) == 0 || !path[0].Equal(src) || !path[len(path)-1].Equal(dst) {
+		t.Fatalf("path %v does not span %v -> %v", path, src, dst)
+	}
+	for i, c := range path {
+		if !mod.Active(c) {
+			t.Fatalf("path visits blocked node %v (step %d)", c, i)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := path[i-1]
+		if prev.L1(c) != 1 {
+			t.Fatalf("non-unit step %v -> %v", prev, c)
+		}
+		l := linkForStep(prev, c)
+		if !f.Usable(l) {
+			t.Fatalf("path uses unusable link %v", l)
+		}
+	}
+}
+
+// linkForStep returns the directed link between adjacent nodes a and b.
+func linkForStep(a, b mesh.Coord) mesh.Link {
+	for dim := range a {
+		if b[dim] != a[dim] {
+			dir := 1
+			if b[dim] < a[dim] {
+				dir = -1
+			}
+			return mesh.Link{From: a.Clone(), Dim: dim, Dir: dir}
+		}
+	}
+	panic("linkForStep: identical coordinates")
+}
+
+func TestBuildSingleFault(t *testing.T) {
+	m := mesh.MustNew(8, 8)
+	f := mesh.NewFaultSet(m)
+	f.AddNode(mesh.C(3, 4))
+	mod, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mod.Regions) != 1 || mod.Regions[0].Size() != 1 {
+		t.Fatalf("want one 1x1 region, got %v", mod.Regions)
+	}
+	if len(mod.Inactivated) != 0 || mod.PromotedLinks != 0 {
+		t.Fatalf("single fault should sacrifice nothing: %v, %d promoted",
+			mod.Inactivated, mod.PromotedLinks)
+	}
+}
+
+func TestBuildDiagonalMerge(t *testing.T) {
+	// Diagonally adjacent faults: their 1-expansions intersect, so the merge
+	// rule fuses them into one 2x2 region sacrificing the two off-diagonal
+	// good nodes. This is the classical corner rule, subsumed by the merge.
+	m := mesh.MustNew(8, 8)
+	f := mesh.NewFaultSet(m)
+	f.AddNodes(mesh.C(3, 3), mesh.C(4, 4))
+	mod, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mod.Regions) != 1 || mod.Regions[0].Size() != 4 {
+		t.Fatalf("want one 2x2 region, got %v", mod.Regions)
+	}
+	if len(mod.Inactivated) != 2 {
+		t.Fatalf("want 2 inactivated, got %v", mod.Inactivated)
+	}
+}
+
+func TestBuildGapMerge(t *testing.T) {
+	// Faults two apart share ring nodes, so they merge across the gap.
+	m := mesh.MustNew(8, 8)
+	f := mesh.NewFaultSet(m)
+	f.AddNodes(mesh.C(3, 3), mesh.C(3, 5))
+	mod, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mod.Regions) != 1 || mod.Regions[0].Size() != 3 {
+		t.Fatalf("want one 1x3 region, got %v", mod.Regions)
+	}
+	if len(mod.Inactivated) != 1 || !mod.Inactivated[0].Equal(mesh.C(3, 4)) {
+		t.Fatalf("want (3,4) inactivated, got %v", mod.Inactivated)
+	}
+}
+
+func TestBuildSeparateRegions(t *testing.T) {
+	m := mesh.MustNew(10, 10)
+	f := mesh.NewFaultSet(m)
+	f.AddNodes(mesh.C(1, 1), mesh.C(7, 7))
+	mod, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mod.Regions) != 2 {
+		t.Fatalf("want two regions, got %v", mod.Regions)
+	}
+}
+
+func TestBuildLinkPromotion(t *testing.T) {
+	m := mesh.MustNew(8, 8)
+	f := mesh.NewFaultSet(m)
+	l := mesh.Link{From: mesh.C(2, 2), Dim: 0, Dir: 1}
+	f.AddLink(l)
+	mod, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.PromotedLinks != 1 {
+		t.Fatalf("want 1 promoted link, got %d", mod.PromotedLinks)
+	}
+	if len(mod.Inactivated) != 1 || !mod.Inactivated[0].Equal(mesh.C(2, 2)) {
+		t.Fatalf("want tail (2,2) sacrificed, got %v", mod.Inactivated)
+	}
+
+	// A link already dead via a faulty endpoint costs nothing extra.
+	f2 := mesh.NewFaultSet(m)
+	f2.AddNode(mesh.C(2, 2))
+	f2.AddLink(l)
+	mod2, err := Build(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod2.PromotedLinks != 0 || len(mod2.Inactivated) != 0 {
+		t.Fatalf("dead-endpoint link should not promote: %d promoted, %v",
+			mod2.PromotedLinks, mod2.Inactivated)
+	}
+}
+
+func TestBuildRejectsNon2D(t *testing.T) {
+	if _, err := Build(mesh.NewFaultSet(mesh.MustNew(4, 4, 4))); err == nil {
+		t.Fatal("want error for 3D mesh")
+	}
+	tor, err := mesh.NewTorus(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(mesh.NewFaultSet(tor)); err == nil {
+		t.Fatal("want error for torus")
+	}
+}
+
+func TestRouteAroundRegion(t *testing.T) {
+	m := mesh.MustNew(8, 8)
+	f := mesh.NewFaultSet(m)
+	f.AddNodes(mesh.C(3, 3), mesh.C(4, 3))
+	mod, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst := mesh.C(1, 3), mesh.C(6, 3)
+	path, ok, err := mod.Route(src, dst)
+	if err != nil || !ok {
+		t.Fatalf("route failed: ok=%v err=%v", ok, err)
+	}
+	validatePath(t, f, mod, src, dst, path)
+	// The X-phase detour must ride the +y side of the ring.
+	sawNorth := false
+	for _, c := range path {
+		if c[1] == 4 {
+			sawNorth = true
+		}
+		if c[1] < 3 {
+			t.Fatalf("X-phase detour dropped to -y side: %v", path)
+		}
+	}
+	if !sawNorth {
+		t.Fatalf("expected +y detour in %v", path)
+	}
+}
+
+func TestRouteEdgeRegionFallsBack(t *testing.T) {
+	// Region touching the -x edge: the Y-phase's preferred -x side does not
+	// exist, so the detour flips to the +x side.
+	m := mesh.MustNew(8, 8)
+	f := mesh.NewFaultSet(m)
+	f.AddNodes(mesh.C(0, 3), mesh.C(1, 3))
+	mod, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst := mesh.C(0, 0), mesh.C(0, 7)
+	path, ok, err := mod.Route(src, dst)
+	if err != nil || !ok {
+		t.Fatalf("route failed: ok=%v err=%v", ok, err)
+	}
+	validatePath(t, f, mod, src, dst, path)
+}
+
+func TestRouteOvershootExitsTowardDst(t *testing.T) {
+	// dst's column abuts the region: the X phase must stop on the ring side
+	// facing dst instead of crossing and coming back.
+	m := mesh.MustNew(8, 8)
+	f := mesh.NewFaultSet(m)
+	f.AddNodes(mesh.C(4, 3), mesh.C(4, 4))
+	mod, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst := mesh.C(1, 3), mesh.C(4, 6)
+	path, ok, err := mod.Route(src, dst)
+	if err != nil || !ok {
+		t.Fatalf("route failed: ok=%v err=%v", ok, err)
+	}
+	validatePath(t, f, mod, src, dst, path)
+	src, dst = mesh.C(1, 4), mesh.C(4, 1)
+	path, ok, err = mod.Route(src, dst)
+	if err != nil || !ok {
+		t.Fatalf("reverse route failed: ok=%v err=%v", ok, err)
+	}
+	validatePath(t, f, mod, src, dst, path)
+}
+
+func TestRouteFullBandDisconnects(t *testing.T) {
+	// A column of faults spanning the full mesh height cuts the mesh in two:
+	// cross-band pairs report ok=false, same-side pairs still route.
+	m := mesh.MustNew(8, 8)
+	f := mesh.NewFaultSet(m)
+	for y := 0; y < 8; y++ {
+		f.AddNode(mesh.C(4, y))
+	}
+	mod, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := mod.Route(mesh.C(2, 2), mesh.C(6, 2)); err != nil || ok {
+		t.Fatalf("cross-band pair should be unreachable: ok=%v err=%v", ok, err)
+	}
+	path, ok, err := mod.Route(mesh.C(1, 1), mesh.C(2, 6))
+	if err != nil || !ok {
+		t.Fatalf("same-side pair should route: ok=%v err=%v", ok, err)
+	}
+	validatePath(t, f, mod, mesh.C(1, 1), mesh.C(2, 6), path)
+}
+
+func TestRouteBlockedEndpointErrors(t *testing.T) {
+	m := mesh.MustNew(8, 8)
+	f := mesh.NewFaultSet(m)
+	f.AddNode(mesh.C(3, 3))
+	mod, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := mod.Route(mesh.C(3, 3), mesh.C(0, 0)); err == nil {
+		t.Fatal("want error for blocked src")
+	}
+	if _, _, err := mod.Route(mesh.C(0, 0), mesh.C(3, 3)); err == nil {
+		t.Fatal("want error for blocked dst")
+	}
+}
+
+func TestRouteAllPairsSmall(t *testing.T) {
+	// Every active pair on a modest faulty mesh routes, and every route is
+	// valid. No full bands here, so ok must always hold.
+	m := mesh.MustNew(7, 7)
+	f := mesh.NewFaultSet(m)
+	f.AddNodes(mesh.C(2, 2), mesh.C(3, 2), mesh.C(5, 5), mesh.C(0, 4))
+	mod, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var active []mesh.Coord
+	m.ForEachNode(func(c mesh.Coord) {
+		if mod.Active(c) {
+			active = append(active, c.Clone())
+		}
+	})
+	for _, src := range active {
+		for _, dst := range active {
+			if src.Equal(dst) {
+				continue
+			}
+			path, ok, err := mod.Route(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("pair %v -> %v unreachable without a full band", src, dst)
+			}
+			validatePath(t, f, mod, src, dst, path)
+		}
+	}
+}
+
+func TestClass(t *testing.T) {
+	cases := []struct {
+		src, dst mesh.Coord
+		want     int
+	}{
+		{mesh.C(1, 1), mesh.C(3, 5), ClassWE},
+		{mesh.C(3, 1), mesh.C(1, 5), ClassEW},
+		{mesh.C(2, 5), mesh.C(2, 1), ClassNS},
+		{mesh.C(2, 1), mesh.C(2, 5), ClassSN},
+	}
+	for _, tc := range cases {
+		if got := Class(tc.src, tc.dst); got != tc.want {
+			t.Errorf("Class(%v, %v) = %d, want %d", tc.src, tc.dst, got, tc.want)
+		}
+	}
+}

@@ -138,61 +138,9 @@ func TestEngineResetReproducesRun(t *testing.T) {
 	}
 }
 
-// TestEngineRouteProperties is the randomized property test: across random
-// meshes, fault draws, and seeds, every packet the engine carries
-//   - traverses only fault-free nodes and usable links,
-//   - respects the round's dimension order within each round,
-//   - has survivor endpoints — lambs appear only as intermediate nodes
-//     (round boundaries included), never as a source or destination,
-//
-// and per-node injection is FIFO in generation order.
-func TestEngineRouteProperties(t *testing.T) {
-	type cfg struct {
-		widths []int
-		faults int
-		seed   int64
-	}
-	var cases []cfg
-	for i := 0; i < 6; i++ {
-		cases = append(cases,
-			cfg{widths: []int{5 + i, 10 - i}, faults: 2 + i, seed: int64(100 + i)},
-			cfg{widths: []int{4, 4, 4}, faults: 2 * i, seed: int64(200 + i)},
-		)
-	}
-	orders2 := func(d int) routing.MultiOrder { return routing.UniformAscending(d, 2) }
-	for _, c := range cases {
-		m := mesh.MustNew(c.widths...)
-		fx := newEngineFixture(t, m, c.faults, c.seed)
-		msgs := fx.workload(t, WorkloadSpec{Pattern: PatternUniform, Rate: 0.02, PacketFlits: 5, Cycles: 150}, 2, c.seed+1)
-		if len(msgs) == 0 {
-			continue
-		}
-		eng, err := NewEngine(fx.f, EngineConfig{
-			Net:           DefaultConfig(),
-			WarmupCycles:  50,
-			MeasureCycles: 100,
-			Nodes:         len(Survivors(fx.f, fx.lambs)),
-		}, msgs)
-		if err != nil {
-			t.Fatalf("%v faults=%d: %v", m, c.faults, err)
-		}
-		r := eng.Run()
-		if r.Deadlocked {
-			t.Fatalf("%v faults=%d: deadlock at 2 VCs / 2 rounds", m, c.faults)
-		}
-		if r.Delivered != r.Packets {
-			t.Fatalf("%v faults=%d: %d of %d delivered", m, c.faults, r.Delivered, r.Packets)
-		}
-		lambAt := make(map[int64]bool, len(fx.lambs))
-		for _, l := range fx.lambs {
-			lambAt[m.Index(l)] = true
-		}
-		for _, msg := range msgs {
-			checkRouteProperties(t, m, fx.f, lambAt, orders2(m.Dims()), msg)
-		}
-		checkSourceFIFO(t, m, msgs)
-	}
-}
+// The randomized route-property suite lives in strategy_test.go
+// (TestStrategyRouteProperties), parameterized over every RouteStrategy;
+// the helpers below are shared with it.
 
 func checkRouteProperties(t *testing.T, m *mesh.Mesh, f *mesh.FaultSet,
 	lambAt map[int64]bool, orders routing.MultiOrder, msg *Message) {

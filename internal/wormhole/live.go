@@ -33,14 +33,22 @@ type LiveConfig struct {
 	// Schedule lists the fault events; it is canonicalized and validated
 	// against the mesh at construction.
 	Schedule FaultSchedule
-	// Reconf owns the evolving fault/lamb configuration. The engine shares
-	// its fault set, so the Reconfigurer must already hold the faults the
-	// workload was routed around, and must not be mutated elsewhere during
-	// the run. KeepLambs should be set: a survivor that silently becomes a
-	// lamb mid-run loses its queued traffic.
+	// Strategy owns the evolving routing configuration: its fault set must
+	// already hold the faults the workload was routed around, and the
+	// engine mutates it (AddFaults) as events apply. When nil, the legacy
+	// Reconf+Orders pair below is wrapped into a lamb strategy, preserving
+	// the original behavior bit for bit.
+	Strategy RouteStrategy
+	// Reconf owns the evolving fault/lamb configuration (legacy lamb path;
+	// ignored when Strategy is set). The engine shares its fault set, so
+	// the Reconfigurer must already hold the faults the workload was routed
+	// around, and must not be mutated elsewhere during the run. KeepLambs
+	// should be set: a survivor that silently becomes a lamb mid-run loses
+	// its queued traffic.
 	Reconf *core.Reconfigurer
 	// Orders is the k-round dimension ordering used to reroute traffic
-	// (the same MultiOrder the workload was generated with).
+	// (the same MultiOrder the workload was generated with; legacy lamb
+	// path only).
 	Orders routing.MultiOrder
 	// RouteSeed seeds the rng used for rerouting draws, keeping live runs
 	// a pure function of (workload, schedule, RouteSeed).
@@ -87,9 +95,11 @@ type liveState struct {
 	cfg      LiveConfig
 	sched    FaultSchedule // canonical
 	next     int           // next schedule event to apply
-	oracle   *routing.Oracle
+	strat    RouteStrategy
 	routeRng *rand.Rand
-	isLamb   []bool // dense lamb flags for the current configuration
+	// isSacrificed densely flags the strategy's sacrificed nodes (lambs,
+	// ring-inactivated) for the current configuration.
+	isSacrificed []bool
 
 	// ring holds the last window per-cycle ejected-flit counts.
 	ring        []int
@@ -119,17 +129,22 @@ type pendingRecovery struct {
 }
 
 // NewLiveEngine builds an Engine whose run absorbs the scheduled faults.
-// The packets must have been routed around rec's current fault set (the
-// engine validates them against it); rec evolves as events apply.
+// The packets must have been routed around the strategy's current fault
+// set (the engine validates them against it); the strategy evolves as
+// events apply.
 func NewLiveEngine(cfg EngineConfig, lc LiveConfig, packets []*Message) (*Engine, error) {
-	if lc.Reconf == nil {
-		return nil, fmt.Errorf("wormhole: live engine needs a Reconfigurer")
+	strat := lc.Strategy
+	if strat == nil {
+		if lc.Reconf == nil {
+			return nil, fmt.Errorf("wormhole: live engine needs a Strategy or a Reconfigurer")
+		}
+		if err := lc.Orders.Validate(lc.Reconf.Faults().Mesh().Dims()); err != nil {
+			return nil, err
+		}
+		strat = wrapReconfigurer(lc.Reconf, lc.Orders)
 	}
-	f := lc.Reconf.Faults()
+	f := strat.Faults()
 	if err := lc.Schedule.Validate(f.Mesh()); err != nil {
-		return nil, err
-	}
-	if err := lc.Orders.Validate(f.Mesh().Dims()); err != nil {
 		return nil, err
 	}
 	e, err := NewEngine(f, cfg, packets)
@@ -145,17 +160,17 @@ func NewLiveEngine(cfg EngineConfig, lc LiveConfig, packets []*Message) (*Engine
 		fraction = 0.9
 	}
 	live := &liveState{
-		cfg:      lc,
-		sched:    lc.Schedule.Canonical(),
-		oracle:   routing.NewOracle(f),
-		routeRng: rand.New(rand.NewSource(lc.RouteSeed)),
-		isLamb:   make([]bool, f.Mesh().Nodes()),
-		ring:     make([]int, window),
-		window:   window,
-		fraction: fraction,
+		cfg:          lc,
+		sched:        lc.Schedule.Canonical(),
+		strat:        strat,
+		routeRng:     rand.New(rand.NewSource(lc.RouteSeed)),
+		isSacrificed: make([]bool, f.Mesh().Nodes()),
+		ring:         make([]int, window),
+		window:       window,
+		fraction:     fraction,
 	}
-	for _, c := range lc.Reconf.Lambs() {
-		live.isLamb[f.Mesh().Index(c)] = true
+	for _, c := range strat.Sacrificed() {
+		live.isSacrificed[f.Mesh().Index(c)] = true
 	}
 	e.live = live
 	return e, nil
@@ -174,9 +189,9 @@ func (l *liveState) applyDue(e *Engine, cycle int, undelivered *int) error {
 }
 
 // dead reports whether c can no longer be a traffic endpoint: it failed
-// outright or was sacrificed as a lamb.
+// outright or was sacrificed by the strategy (lamb, ring-inactivated).
 func (l *liveState) dead(f *mesh.FaultSet, c mesh.Coord) bool {
-	return f.NodeFaulty(c) || l.isLamb[f.Mesh().Index(c)]
+	return f.NodeFaulty(c) || l.isSacrificed[f.Mesh().Index(c)]
 }
 
 // routeBroken reports whether any of msg's hops from `from` onward crosses
@@ -190,37 +205,42 @@ func routeBroken(f *mesh.FaultSet, msg *Message, from int) bool {
 	return false
 }
 
-// reroute draws a fresh fault-free route for msg through the current
-// configuration and grafts it onto the message, rebinding its dense state.
-func (l *liveState) reroute(e *Engine, msg *Message) error {
+// reroute draws a fresh route for msg through the current configuration and
+// grafts it onto the message, rebinding its dense state. ok=false means the
+// pair is unreachable under the strategy's new configuration (the caller
+// accounts the packet as lost); an error aborts the run.
+func (l *liveState) reroute(e *Engine, msg *Message) (bool, error) {
 	vcs := e.cfg.Net.VirtualChannels
+	m := l.strat.Faults().Mesh()
 	for attempt := 0; ; attempt++ {
-		fresh, err := RouteMessage(l.oracle, l.cfg.Orders, msg.Src, msg.Dst,
+		fresh, ok, err := l.strat.Route(msg.Src, msg.Dst,
 			msg.ID, msg.Length, msg.InjectAt, vcs, l.routeRng)
 		if err != nil {
-			return err
+			return false, err
 		}
-		if !hasVCReuse(l.oracle.Mesh(), fresh) {
+		if !ok {
+			return false, nil
+		}
+		if !hasVCReuse(m, fresh) {
 			msg.Hops = fresh.Hops
 			msg.PathHops = fresh.PathHops
 			msg.PathTurns = fresh.PathTurns
 			break
 		}
 		if attempt >= 50 {
-			return fmt.Errorf("wormhole: could not redraw a self-overlap-free route for packet %d", msg.ID)
+			return false, fmt.Errorf("wormhole: could not redraw a self-overlap-free route for packet %d", msg.ID)
 		}
 	}
 	msg.Delivered = false
 	msg.DoneCycle = 0
 	msg.StartCycle = 0
-	return e.net.bindMessage(msg)
+	return true, e.net.bindMessage(msg)
 }
 
 // applyEvent folds one fault event into the configuration and repairs the
 // traffic state: kill, reroute, requeue, and account.
 func (l *liveState) applyEvent(e *Engine, ev FaultEvent, cycle int, undelivered *int) error {
-	rec := l.cfg.Reconf
-	f := rec.Faults()
+	f := l.strat.Faults()
 	m := f.Mesh()
 
 	// Only genuinely new faults trigger a reconfiguration.
@@ -241,16 +261,16 @@ func (l *liveState) applyEvent(e *Engine, ev FaultEvent, cycle int, undelivered 
 	}
 
 	recomputeStart := time.Now()
-	if _, err := rec.AddFaults(newNodes, newLinks); err != nil {
+	if err := l.strat.AddFaults(newNodes, newLinks); err != nil {
 		return fmt.Errorf("wormhole: reconfiguration at cycle %d: %w", cycle, err)
 	}
 	recomputeTime := time.Since(recomputeStart)
 	l.reconfigs++
-	clear(l.isLamb)
-	for _, c := range rec.Lambs() {
-		l.isLamb[m.Index(c)] = true
+	f = l.strat.Faults()
+	clear(l.isSacrificed)
+	for _, c := range l.strat.Sacrificed() {
+		l.isSacrificed[m.Index(c)] = true
 	}
-	l.oracle = routing.NewOracle(f)
 
 	killed, lost := 0, 0
 	markLost := func(p *Message) {
@@ -293,9 +313,15 @@ func (l *liveState) applyEvent(e *Engine, ev FaultEvent, cycle int, undelivered 
 			continue
 		}
 		// Retransmission: fresh route, back of the source queue; latency
-		// keeps accruing from the original generation time.
-		if err := l.reroute(e, p); err != nil {
+		// keeps accruing from the original generation time. A pair the new
+		// configuration cannot serve (strategy-dependent) is lost instead.
+		ok, err := l.reroute(e, p)
+		if err != nil {
 			return err
+		}
+		if !ok {
+			markLost(p)
+			continue
 		}
 		e.queueOf[m.Index(p.Src)] = append(e.queueOf[m.Index(p.Src)], p)
 		l.retransmits++
@@ -314,8 +340,13 @@ func (l *liveState) applyEvent(e *Engine, ev FaultEvent, cycle int, undelivered 
 				continue
 			}
 			if routeBroken(f, p, 0) {
-				if err := l.reroute(e, p); err != nil {
+				ok, err := l.reroute(e, p)
+				if err != nil {
 					return err
+				}
+				if !ok {
+					markLost(p)
+					continue
 				}
 				l.reroutedPending++
 			}

@@ -1,0 +1,99 @@
+package wormhole
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lambmesh/internal/faultring"
+	"lambmesh/internal/mesh"
+	"lambmesh/internal/routing"
+)
+
+// RingStrategy is the Boppana–Chalasani baseline as a RouteStrategy:
+// faults are rectangularized into ringed regions (internal/faultring) and
+// every packet follows the deterministic XY-with-detours path, carried
+// entirely on the virtual channel of its f-cube2 message class. With two
+// VCs the four classes pair up WE+NS on VC0 and EW+SN on VC1; with one VC
+// everything shares channel 0 (the deliberately under-provisioned case).
+// 2D meshes only — the classical scheme does not generalize past it here.
+type RingStrategy struct {
+	f   *mesh.FaultSet
+	mod *faultring.Model
+}
+
+// NewRingStrategy rectangularizes f and returns the strategy.
+func NewRingStrategy(f *mesh.FaultSet) (*RingStrategy, error) {
+	mod, err := faultring.Build(f)
+	if err != nil {
+		return nil, err
+	}
+	return &RingStrategy{f: f, mod: mod}, nil
+}
+
+// Model exposes the rectangularized structure (for reporting).
+func (s *RingStrategy) Model() *faultring.Model { return s.mod }
+
+func (s *RingStrategy) Name() string             { return "ring" }
+func (s *RingStrategy) Faults() *mesh.FaultSet   { return s.f }
+func (s *RingStrategy) Sacrificed() []mesh.Coord { return s.mod.Inactivated }
+func (s *RingStrategy) MinVCs() int              { return 2 }
+
+// ringVC maps a message class to its virtual channel, clamped to the
+// provisioned count.
+func ringVC(class, vcs int) int {
+	vc := 0
+	if class == faultring.ClassEW || class == faultring.ClassSN {
+		vc = 1
+	}
+	if vc >= vcs {
+		vc = vcs - 1
+	}
+	return vc
+}
+
+func (s *RingStrategy) Route(src, dst mesh.Coord, id, length, injectAt, vcs int, _ *rand.Rand) (*Message, bool, error) {
+	if src.Equal(dst) {
+		return nil, false, fmt.Errorf("wormhole: zero-hop route %v -> %v", src, dst)
+	}
+	path, ok, err := s.mod.Route(src, dst)
+	if err != nil {
+		return nil, false, err
+	}
+	if !ok {
+		return nil, false, nil
+	}
+	vc := ringVC(faultring.Class(src, dst), vcs)
+	msg := &Message{
+		ID:       id,
+		Src:      src.Clone(),
+		Dst:      dst.Clone(),
+		Length:   length,
+		InjectAt: injectAt,
+	}
+	m := s.f.Mesh()
+	for i := 1; i < len(path); i++ {
+		link, err := linkBetween(m, path[i-1], path[i])
+		if err != nil {
+			return nil, false, err
+		}
+		msg.Hops = append(msg.Hops, Hop{Link: link, VC: vc})
+	}
+	msg.PathHops = len(msg.Hops)
+	msg.PathTurns = routing.CountTurns(path)
+	return msg, true, nil
+}
+
+func (s *RingStrategy) AddFaults(nodes []mesh.Coord, links []mesh.Link) error {
+	for _, c := range nodes {
+		s.f.AddNode(c)
+	}
+	for _, l := range links {
+		s.f.AddLink(l)
+	}
+	mod, err := faultring.Build(s.f)
+	if err != nil {
+		return err
+	}
+	s.mod = mod
+	return nil
+}

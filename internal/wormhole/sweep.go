@@ -47,7 +47,26 @@ type SweepSpec struct {
 	// any worker count. Live sweeps require a mesh (not a torus).
 	Schedule FaultSchedule
 	MTBF     float64
+
+	// Strategy, when set, routes every cell through the given RouteStrategy
+	// builder instead of the legacy lamb arguments (orders and lambs are
+	// then ignored except by the builder itself). Static sweeps build one
+	// strategy and share it across cells (Route is concurrent-safe); live
+	// sweeps build one per cell over a private fault-set clone so mid-run
+	// events stay cell-local.
+	Strategy StrategyBuilder
+	// StrategyStream offsets the per-cell seed stream so sweeps over
+	// different strategies draw disjoint trial seeds from the same base
+	// Seed: cell (rate ri, trial ti) uses stream
+	// StrategyStream*strategyStreamStride + ri. Zero (the lamb position in
+	// StrategyNames) preserves the legacy stream assignment exactly.
+	StrategyStream int
 }
+
+// strategyStreamStride separates the seed streams of different strategies.
+// Any sweep with fewer rates than the stride (enforced in RunSweep) cannot
+// collide across strategy indices.
+const strategyStreamStride = 1 << 20
 
 // Live reports whether the spec injects faults mid-run.
 func (s *SweepSpec) Live() bool { return !s.Schedule.Empty() || s.MTBF > 0 }
@@ -99,26 +118,53 @@ func RunSweep(f *mesh.FaultSet, orders routing.MultiOrder, lambs []mesh.Coord, s
 	if spec.MTBF < 0 {
 		return nil, fmt.Errorf("wormhole: negative MTBF %v", spec.MTBF)
 	}
+	if len(spec.Rates) >= strategyStreamStride {
+		return nil, fmt.Errorf("wormhole: %d rates overflow the strategy seed stride", len(spec.Rates))
+	}
+	if spec.StrategyStream < 0 {
+		return nil, fmt.Errorf("wormhole: negative strategy stream %d", spec.StrategyStream)
+	}
 	live := spec.Live()
 	if live {
 		if err := spec.Schedule.Validate(f.Mesh()); err != nil {
 			return nil, err
 		}
 	}
-	o := routing.NewOracle(f)
+	var o *routing.Oracle
+	if spec.Strategy == nil {
+		o = routing.NewOracle(f)
+	}
+	var strat RouteStrategy
+	if spec.Strategy != nil && !live {
+		// One shared strategy for the whole static sweep; Route is
+		// concurrent-safe once built.
+		var err error
+		strat, err = spec.Strategy(f)
+		if err != nil {
+			return nil, err
+		}
+	}
 	cells := len(spec.Rates) * spec.Trials
 	results := make([]EngineResult, cells)
 	errs := make([]error, cells)
 	par.Do(spec.Workers, cells, func(ci int) {
 		ri, ti := ci/spec.Trials, ci%spec.Trials
-		// Rate index = stream, so every cell's seed is the shared injective
-		// map of the repo-wide contract (see par.TrialSeed and DESIGN.md).
-		rng := rand.New(rand.NewSource(par.TrialSeed(spec.Seed, ri, ti)))
+		// Stream = strategy block + rate index, so every cell's seed is the
+		// shared injective map of the repo-wide contract (par.TrialSeed,
+		// DESIGN.md) and sweeps over different strategies never replay each
+		// other's trial seeds.
+		stream := spec.StrategyStream*strategyStreamStride + ri
+		rng := rand.New(rand.NewSource(par.TrialSeed(spec.Seed, stream, ti)))
 		var res EngineResult
 		var err error
-		if live {
+		switch {
+		case spec.Strategy != nil && live:
+			res, err = runStrategyLiveCell(f, spec, spec.Rates[ri], rng)
+		case spec.Strategy != nil:
+			res, err = runStrategyCell(strat, spec, spec.Rates[ri], rng)
+		case live:
 			res, err = runLiveCell(f, orders, spec, spec.Rates[ri], rng)
-		} else {
+		default:
 			res, err = runCell(o, orders, lambs, spec, spec.Rates[ri], rng)
 		}
 		if err != nil {
@@ -261,6 +307,78 @@ func runLiveCell(f *mesh.FaultSet, orders routing.MultiOrder,
 		Schedule:  sched,
 		Reconf:    rec,
 		Orders:    orders,
+		RouteSeed: rng.Int63(),
+	}, packets)
+	if err != nil {
+		return EngineResult{}, err
+	}
+	return eng.RunLive()
+}
+
+// runStrategyCell is one (rate, trial) cell routed through a shared
+// strategy. The workload draw consumes the cell rng exactly as runCell
+// does for the lamb strategy.
+func runStrategyCell(s RouteStrategy, spec SweepSpec, rate float64, rng *rand.Rand) (EngineResult, error) {
+	wl := WorkloadSpec{
+		Pattern:         spec.Pattern,
+		Rate:            rate,
+		PacketFlits:     spec.PacketFlits,
+		Cycles:          spec.Warmup + spec.Measure,
+		HotspotFraction: spec.HotspotFraction,
+	}
+	packets, _, err := GenerateStrategyWorkload(s, wl, spec.Net.VirtualChannels, rng)
+	if err != nil {
+		return EngineResult{}, err
+	}
+	nodes := survivorCount(s.Faults(), s.Sacrificed())
+	eng, err := NewEngine(s.Faults(), EngineConfig{
+		Net:           spec.Net,
+		WarmupCycles:  spec.Warmup,
+		MeasureCycles: spec.Measure,
+		DrainCycles:   spec.Drain,
+		Nodes:         nodes,
+	}, packets)
+	if err != nil {
+		return EngineResult{}, err
+	}
+	return eng.Run(), nil
+}
+
+// runStrategyLiveCell is one (rate, trial) cell of a strategy live sweep.
+// Each cell builds its own strategy over a private clone of the initial
+// fault set, so mid-run events evolve it independently of the other cells.
+func runStrategyLiveCell(f *mesh.FaultSet, spec SweepSpec, rate float64, rng *rand.Rand) (EngineResult, error) {
+	s, err := spec.Strategy(f.Clone())
+	if err != nil {
+		return EngineResult{}, err
+	}
+	wl := WorkloadSpec{
+		Pattern:         spec.Pattern,
+		Rate:            rate,
+		PacketFlits:     spec.PacketFlits,
+		Cycles:          spec.Warmup + spec.Measure,
+		HotspotFraction: spec.HotspotFraction,
+	}
+	packets, _, err := GenerateStrategyWorkload(s, wl, spec.Net.VirtualChannels, rng)
+	if err != nil {
+		return EngineResult{}, err
+	}
+	sched := spec.Schedule
+	if spec.MTBF > 0 {
+		random := RandomSchedule(s.Faults(), spec.MTBF, spec.Warmup+spec.Measure, rng)
+		merged := FaultSchedule{Events: append(append([]FaultEvent(nil), sched.Events...), random.Events...)}
+		sched = merged
+	}
+	nodes := survivorCount(s.Faults(), s.Sacrificed())
+	eng, err := NewLiveEngine(EngineConfig{
+		Net:           spec.Net,
+		WarmupCycles:  spec.Warmup,
+		MeasureCycles: spec.Measure,
+		DrainCycles:   spec.Drain,
+		Nodes:         nodes,
+	}, LiveConfig{
+		Schedule:  sched,
+		Strategy:  s,
 		RouteSeed: rng.Int63(),
 	}, packets)
 	if err != nil {

@@ -171,22 +171,41 @@ func hotspotNode(m *mesh.Mesh, survivors []mesh.Coord) mesh.Coord {
 // the workload keeps the engine's cycle loop allocation-free and makes a
 // trial a pure function of the rng seed. Packets are returned in
 // generation order (ascending InjectAt; at most one per node per cycle).
+//
+// This is the lamb-strategy specialization of GenerateStrategyWorkload,
+// kept for the many callers that hold an (oracle, orders, lambs) triple;
+// both consume the rng stream identically.
 func GenerateWorkload(o *routing.Oracle, orders routing.MultiOrder, lambs []mesh.Coord,
 	spec WorkloadSpec, vcs int, rng *rand.Rand) ([]*Message, error) {
+	msgs, _, err := GenerateStrategyWorkload(lambView(o, orders, lambs), spec, vcs, rng)
+	return msgs, err
+}
+
+// GenerateStrategyWorkload draws the open-loop workload through an
+// arbitrary RouteStrategy. The draw order matches GenerateWorkload exactly
+// (Bernoulli coin, pattern destination, route with random tie-breaks), so
+// the lamb strategy reproduces the legacy byte stream. Strategies that can
+// leave survivor pairs unreachable (fault rings across a full band, the
+// negative-first turn model around hostile clusters) get the nominal
+// destination redrawn uniformly a bounded number of times; a packet whose
+// redraws all fail is skipped and counted in the second return value, so
+// callers can report explicitly what the scheme could not serve.
+func GenerateStrategyWorkload(s RouteStrategy, spec WorkloadSpec, vcs int,
+	rng *rand.Rand) ([]*Message, int, error) {
 	if spec.Rate <= 0 || spec.Rate > 1 {
-		return nil, fmt.Errorf("wormhole: injection rate %v outside (0, 1]", spec.Rate)
+		return nil, 0, fmt.Errorf("wormhole: injection rate %v outside (0, 1]", spec.Rate)
 	}
 	if spec.PacketFlits < 1 {
-		return nil, fmt.Errorf("wormhole: packet length %d flits", spec.PacketFlits)
+		return nil, 0, fmt.Errorf("wormhole: packet length %d flits", spec.PacketFlits)
 	}
 	if spec.Cycles < 1 {
-		return nil, fmt.Errorf("wormhole: injection horizon %d cycles", spec.Cycles)
+		return nil, 0, fmt.Errorf("wormhole: injection horizon %d cycles", spec.Cycles)
 	}
-	m := o.Mesh()
-	f := o.Faults()
-	survivors := Survivors(f, lambs)
+	f := s.Faults()
+	m := f.Mesh()
+	survivors := Survivors(f, s.Sacrificed())
 	if len(survivors) < 2 {
-		return nil, fmt.Errorf("wormhole: fewer than two survivors")
+		return nil, 0, fmt.Errorf("wormhole: fewer than two survivors")
 	}
 	survivorAt := make([]mesh.Coord, m.Nodes())
 	for _, c := range survivors {
@@ -197,6 +216,7 @@ func GenerateWorkload(o *routing.Oracle, orders routing.MultiOrder, lambs []mesh
 	expected := int(spec.Rate*float64(len(survivors)*spec.Cycles)) + 1
 	msgs := make([]*Message, 0, expected)
 	id := 0
+	unreachable := 0
 	for cycle := 0; cycle < spec.Cycles; cycle++ {
 		for _, src := range survivors {
 			if rng.Float64() >= spec.Rate {
@@ -207,22 +227,44 @@ func GenerateWorkload(o *routing.Oracle, orders routing.MultiOrder, lambs []mesh
 			// With fewer VCs than rounds a route may revisit a (link, VC)
 			// pair, which would self-deadlock; redraw the route (its random
 			// tie-breaks give a different via) a bounded number of times.
-			for attempt := 0; ; attempt++ {
+			attempt, redraws := 0, 0
+			for {
+				var ok bool
 				var err error
-				msg, err = RouteMessage(o, orders, src, dst, id, spec.PacketFlits, cycle, vcs, rng)
+				msg, ok, err = s.Route(src, dst, id, spec.PacketFlits, cycle, vcs, rng)
 				if err != nil {
-					return nil, err
+					return nil, 0, err
+				}
+				if !ok {
+					// Unreachable under this strategy: redraw the destination
+					// uniformly; give the packet up after a bounded number of
+					// tries (e.g. src walled off entirely).
+					redraws++
+					if redraws > 20 {
+						msg = nil
+						unreachable++
+						break
+					}
+					dst = survivors[rng.Intn(len(survivors))]
+					for dst.Equal(src) {
+						dst = survivors[rng.Intn(len(survivors))]
+					}
+					continue
 				}
 				if !hasVCReuse(m, msg) {
 					break
 				}
 				if attempt >= 50 {
-					return nil, fmt.Errorf("wormhole: could not draw a self-overlap-free route with %d VCs", vcs)
+					return nil, 0, fmt.Errorf("wormhole: could not draw a self-overlap-free route with %d VCs", vcs)
 				}
+				attempt++
+			}
+			if msg == nil {
+				continue
 			}
 			msgs = append(msgs, msg)
 			id++
 		}
 	}
-	return msgs, nil
+	return msgs, unreachable, nil
 }
