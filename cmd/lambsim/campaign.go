@@ -28,6 +28,7 @@ bit-for-bit via -resume.
 
 Grid flags (comma-separated lists; the grid is their cross product):
   -mesh     mesh sizes, e.g. 8x8,16x16,4x4x4      (default 8x8)
+  -topology mesh | torus | hypercube               (default mesh)
   -model    fault models: node, link, mixed        (default node)
   -process  fault processes                        (default fixed:3)
               fixed:N           exactly N faults per trial
@@ -46,6 +47,7 @@ func campaignMain(args []string, stdout, stderr io.Writer) int {
 	}
 	var (
 		meshFlag  = fs.String("mesh", "8x8", "mesh sizes (comma-separated, e.g. 8x8,4x4x4)")
+		topoFlag  = fs.String("topology", "mesh", "network family for every grid mesh: mesh, torus, hypercube (widths all 2)")
 		modelFlag = fs.String("model", "node", "fault models (comma-separated: node,link,mixed)")
 		procFlag  = fs.String("process", "fixed:3", "fault processes (comma-separated specs)")
 		k         = fs.Int("k", 2, "routing rounds (k-round connectivity target)")
@@ -68,6 +70,7 @@ func campaignMain(args []string, stdout, stderr io.Writer) int {
 	}
 
 	spec := campaign.Spec{
+		Topology:  *topoFlag,
 		K:         *k,
 		Trials:    *trials,
 		Seed:      *seed,

@@ -12,12 +12,20 @@
 //	wormsim -mesh 16x16 -faults 8 -rate 0.02 -fault-schedule events.txt
 //	wormsim -mesh 16x16 -faults 8 -rate 0.02 -mtbf 400
 //	wormsim -mesh 16x16 -faults 10 -rate 0.02 -strategy ring
+//	wormsim -topology torus -mesh 8x8 -vcs 4 -faults 6 -rate 0.02
+//	wormsim -topology hypercube -mesh 2x2x2x2 -faults 2 -rate 0.02
+//	wormsim -topology fullmesh -mesh 12 -strategy direct -vcs 1 -faults 4
 //
 // -strategy selects the routing data plane: lamb (the paper's scheme, the
 // default), ring (the Boppana–Chalasani fault-ring baseline; reports
-// sacrificed nodes instead of lambs), or adaptive (negative-first turn
-// model). Each strategy runs against the same fault draw but its own seed
-// stream, with the fault-free baseline routed by the same strategy.
+// sacrificed nodes instead of lambs), adaptive (negative-first turn
+// model), or direct (full-mesh direct/one-hop-indirect routing). Each
+// strategy runs against the same fault draw but its own seed stream, with
+// the fault-free baseline routed by the same strategy.
+//
+// -topology selects the network: mesh (default), torus (lamb only; needs
+// -vcs >= 2k for the dateline VC pairs), hypercube (-mesh widths all 2),
+// or fullmesh (-mesh N; requires -strategy direct, runs on a single VC).
 //
 // With -fault-schedule or -mtbf the lamb case becomes a live run: the
 // scheduled (or randomly drawn) faults strike mid-simulation, the lamb set
@@ -48,12 +56,13 @@ import (
 
 // cliConfig is the parsed, validated flag set; run is a pure function of it.
 type cliConfig struct {
-	widths  []int
-	nFaults int
-	k       int
-	vcs     int
-	buffer  int
-	seed    int64
+	topology string
+	widths   []int
+	nFaults  int
+	k        int
+	vcs      int
+	buffer   int
+	seed     int64
 
 	pattern wormhole.Pattern
 	hotspot float64
@@ -84,7 +93,8 @@ func parseConfig(args []string) (*cliConfig, error) {
 	fs := flag.NewFlagSet("wormsim", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
 	var (
-		meshFlag    = fs.String("mesh", "16x16", "mesh widths, e.g. 16x16 or 8x8x8")
+		topoFlag    = fs.String("topology", "mesh", "network topology: mesh, torus, hypercube, fullmesh")
+		meshFlag    = fs.String("mesh", "16x16", "mesh widths, e.g. 16x16 or 8x8x8 (hypercube: all 2; fullmesh: node count N)")
 		nFaults     = fs.Int("faults", 10, "random node faults")
 		k           = fs.Int("k", 2, "routing rounds")
 		vcs         = fs.Int("vcs", 2, "virtual channels per link")
@@ -105,7 +115,7 @@ func parseConfig(args []string) (*cliConfig, error) {
 		format      = fs.String("format", "table", "output format: table, csv, json")
 		schedFlag   = fs.String("fault-schedule", "", "fault-schedule file: faults injected mid-run into the lamb case (baseline stays clean)")
 		mtbf        = fs.Float64("mtbf", 0, "mean cycles between random mid-run node faults in the lamb case; 0 disables")
-		strategy    = fs.String("strategy", "lamb", "routing strategy: lamb, ring (Boppana-Chalasani fault rings), adaptive (negative-first)")
+		strategy    = fs.String("strategy", "lamb", "routing strategy: lamb, ring (Boppana-Chalasani fault rings), adaptive (negative-first), direct (full mesh only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -131,6 +141,21 @@ func parseConfig(args []string) (*cliConfig, error) {
 	cfg.strategy = *strategy
 	if _, err := wormhole.StrategyIndex(cfg.strategy); err != nil {
 		return nil, err
+	}
+	cfg.topology = *topoFlag
+	known := false
+	for _, n := range mesh.TopologyNames() {
+		known = known || n == cfg.topology
+	}
+	if !known {
+		return nil, fmt.Errorf("unknown topology %q (want one of %v)", cfg.topology, mesh.TopologyNames())
+	}
+	// The direct strategy and the full-mesh topology define each other.
+	if cfg.topology == "fullmesh" && cfg.strategy != "direct" {
+		return nil, fmt.Errorf("-topology fullmesh requires -strategy direct")
+	}
+	if cfg.strategy == "direct" && cfg.topology != "fullmesh" {
+		return nil, fmt.Errorf("-strategy direct requires -topology fullmesh")
 	}
 	if *sweep {
 		cfg.rates = defaultSweepRates
@@ -222,9 +247,11 @@ type sweepRow struct {
 }
 
 // report is the full JSON document; table/csv emit only the rows. Strategy
-// and Sacrificed are set only by -strategy ring|adaptive runs (omitempty
-// keeps the default lamb JSON byte-identical to earlier releases).
+// and Sacrificed are set only by -strategy ring|adaptive|direct runs, and
+// Topology only by non-mesh -topology runs (omitempty keeps the default
+// lamb-on-mesh JSON byte-identical to earlier releases).
 type report struct {
+	Topology   string     `json:"topology,omitempty"`
 	Mesh       string     `json:"mesh"`
 	Faults     int        `json:"faults"`
 	Lambs      int        `json:"lambs"`
@@ -241,17 +268,44 @@ type report struct {
 	Rows       []sweepRow `json:"rows"`
 }
 
+// buildTopology constructs the network from -topology and -mesh. The mesh
+// case goes through mesh.New exactly as before the flag existed.
+func buildTopology(cfg *cliConfig) (mesh.Topology, error) {
+	switch cfg.topology {
+	case "torus":
+		return mesh.NewTorus(cfg.widths...)
+	case "hypercube":
+		for _, w := range cfg.widths {
+			if w != 2 {
+				return nil, fmt.Errorf("-topology hypercube needs every width to be 2 (e.g. -mesh 2x2x2x2), got %v", cfg.widths)
+			}
+		}
+		return mesh.NewHypercube(len(cfg.widths))
+	case "fullmesh":
+		if len(cfg.widths) != 1 {
+			return nil, fmt.Errorf("-topology fullmesh takes a node count (e.g. -mesh 12), got %v", cfg.widths)
+		}
+		return mesh.NewFullMesh(cfg.widths[0])
+	default:
+		return mesh.New(cfg.widths...)
+	}
+}
+
 func run(cfg *cliConfig, w io.Writer) error {
-	if cfg.strategy != "lamb" {
+	// Tori go through the strategy path even for lamb: the lamb strategy
+	// dispatches to the generic (TorusLamb) reconfigurer and its MinVCs
+	// check enforces the 2k dateline VC requirement.
+	if cfg.strategy != "lamb" || cfg.topology == "torus" {
 		return runStrategy(cfg, w)
 	}
-	m, err := mesh.New(cfg.widths...)
+	topo, err := buildTopology(cfg)
 	if err != nil {
 		return err
 	}
+	m := topo.Grid()
 	// The fault draw gets its own rng: sweep cells reseed from (seed, rate,
 	// trial), so consuming here cannot shift workload randomness.
-	faults := mesh.RandomNodeFaults(m, cfg.nFaults, rand.New(rand.NewSource(cfg.seed)))
+	faults := mesh.RandomNodeFaultsOn(topo, cfg.nFaults, rand.New(rand.NewSource(cfg.seed)))
 	orders := routing.UniformAscending(m.Dims(), cfg.k)
 	res, err := core.Lamb1(faults, orders)
 	if err != nil {
@@ -278,7 +332,7 @@ func run(cfg *cliConfig, w io.Writer) error {
 	}
 
 	rep := report{
-		Mesh:      fmt.Sprint(m),
+		Mesh:      fmt.Sprint(topo),
 		Faults:    faults.Count(),
 		Lambs:     res.NumLambs(),
 		Survivors: int(res.Survivors(faults)),
@@ -289,6 +343,9 @@ func run(cfg *cliConfig, w io.Writer) error {
 		Trials:    cfg.trials,
 		Seed:      cfg.seed,
 		Live:      cfg.live(),
+	}
+	if cfg.topology != "mesh" {
+		rep.Topology = cfg.topology
 	}
 	// Mid-run faults strike the lamb case only: the baseline stays the
 	// clean fault-free reference the recovery numbers are read against.
@@ -319,11 +376,12 @@ func run(cfg *cliConfig, w io.Writer) error {
 // baseline runs the same strategy on the fault-free mesh — a strategy's
 // fault-free behavior is its own reference, not lamb's.
 func runStrategy(cfg *cliConfig, w io.Writer) error {
-	m, err := mesh.New(cfg.widths...)
+	topo, err := buildTopology(cfg)
 	if err != nil {
 		return err
 	}
-	faults := mesh.RandomNodeFaults(m, cfg.nFaults, rand.New(rand.NewSource(cfg.seed)))
+	m := topo.Grid()
+	faults := mesh.RandomNodeFaultsOn(topo, cfg.nFaults, rand.New(rand.NewSource(cfg.seed)))
 	orders := routing.UniformAscending(m.Dims(), cfg.k)
 	stream, err := wormhole.StrategyIndex(cfg.strategy)
 	if err != nil {
@@ -364,7 +422,7 @@ func runStrategy(cfg *cliConfig, w io.Writer) error {
 	}
 
 	rep := report{
-		Mesh:       fmt.Sprint(m),
+		Mesh:       fmt.Sprint(topo),
 		Faults:     faults.Count(),
 		Survivors:  len(wormhole.Survivors(faults, strat.Sacrificed())),
 		Rounds:     cfg.k,
@@ -377,6 +435,9 @@ func runStrategy(cfg *cliConfig, w io.Writer) error {
 		Strategy:   cfg.strategy,
 		Sacrificed: len(strat.Sacrificed()),
 	}
+	if cfg.topology != "mesh" {
+		rep.Topology = cfg.topology
+	}
 	faultySpec := spec
 	faultySpec.Schedule = cfg.schedule
 	faultySpec.MTBF = cfg.mtbf
@@ -386,7 +447,7 @@ func runStrategy(cfg *cliConfig, w io.Writer) error {
 	}
 	rep.Rows = appendRows(rep.Rows, cfg.strategy, faulty)
 	if cfg.baseline {
-		free := mesh.NewFaultSet(m)
+		free := mesh.NewFaultSetOn(topo)
 		base, err := wormhole.RunSweep(free, orders, nil, spec)
 		if err != nil {
 			return err

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTopologyGoldenOutputs pins the -topology output bytes the same way
+// TestGoldenOutputs pins the mesh ones. Regenerate with
+// 'go test -run TestTopologyGolden -update ./cmd/wormsim'.
+func TestTopologyGoldenOutputs(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		// Torus lamb: k=2 rounds need 2k=4 dateline VC pairs.
+		{"topo-torus-table.txt", smallArgs("-topology", "torus", "-vcs", "4", "-sweep", "-rates", "0.01,0.05")},
+		{"topo-torus-csv.txt", smallArgs("-topology", "torus", "-vcs", "4", "-sweep", "-rates", "0.01,0.05", "-format", "csv")},
+		{"topo-torus-json.txt", smallArgs("-topology", "torus", "-vcs", "4", "-sweep", "-rates", "0.01,0.05", "-format", "json")},
+		{"topo-hypercube-table.txt", smallArgs("-topology", "hypercube", "-mesh", "2x2x2x2", "-faults", "2", "-sweep", "-rates", "0.01,0.05")},
+		{"topo-hypercube-csv.txt", smallArgs("-topology", "hypercube", "-mesh", "2x2x2x2", "-faults", "2", "-sweep", "-rates", "0.01,0.05", "-format", "csv")},
+		{"topo-hypercube-json.txt", smallArgs("-topology", "hypercube", "-mesh", "2x2x2x2", "-faults", "2", "-sweep", "-rates", "0.01,0.05", "-format", "json")},
+		{"topo-fullmesh-table.txt", smallArgs("-topology", "fullmesh", "-mesh", "12", "-strategy", "direct", "-vcs", "1", "-faults", "4", "-sweep", "-rates", "0.01,0.05")},
+		{"topo-fullmesh-json.txt", smallArgs("-topology", "fullmesh", "-mesh", "12", "-strategy", "direct", "-vcs", "1", "-faults", "4", "-sweep", "-rates", "0.01,0.05", "-format", "json")},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			checkGolden(t, tc.name, []byte(runWormsim(t, tc.args)))
+		})
+	}
+}
+
+// TestTopologyFlagValidation covers the -topology/-strategy/-mesh interplay
+// rejected at parse time.
+func TestTopologyFlagValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{smallArgs("-topology", "klein-bottle"), "unknown topology"},
+		{smallArgs("-topology", "fullmesh", "-mesh", "12"), "requires -strategy direct"},
+		{smallArgs("-strategy", "direct"), "requires -topology fullmesh"},
+	}
+	for _, tc := range cases {
+		if _, err := parseConfig(tc.args); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("parseConfig(%v) err = %v, want substring %q", tc.args, err, tc.want)
+		}
+	}
+}
+
+// TestTopologyRunValidation covers the shape and VC checks that surface at
+// run time (topology construction and the strategy MinVCs gate).
+func TestTopologyRunValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{smallArgs("-topology", "hypercube", "-mesh", "2x3x2"), "every width to be 2"},
+		{smallArgs("-topology", "fullmesh", "-mesh", "4x3", "-strategy", "direct"), "takes a node count"},
+		{smallArgs("-topology", "torus", "-vcs", "2"), "needs at least 4 VCs"},
+	}
+	for _, tc := range cases {
+		cfg, err := parseConfig(tc.args)
+		if err != nil {
+			t.Fatalf("parseConfig(%v): %v", tc.args, err)
+		}
+		if err := run(cfg, nopWriter{}); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v) err = %v, want substring %q", tc.args, err, tc.want)
+		}
+	}
+}
+
+type nopWriter struct{}
+
+func (nopWriter) Write(p []byte) (int, error) { return len(p), nil }

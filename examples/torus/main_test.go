@@ -1,0 +1,46 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestDemos runs every demo and pins the load-bearing lines, so the example
+// stays a working walkthrough rather than drifting from the API.
+func TestDemos(t *testing.T) {
+	cases := []struct {
+		name string
+		demo func(io.Writer) error
+		want []string
+	}{
+		{"torus", torusDemo, []string{
+			"mesh  M_2(6)", "torus T_2(6)",
+		}},
+		{"hypercube", hypercubeDemo, []string{
+			"Q_5", "(verified)",
+		}},
+		{"topology", topologyDemo, []string{
+			`mesh      M_2(6x6)`,
+			`torus     T_2(6x6)`,
+			`hypercube Q_5`,
+			`fullmesh  K_12`,
+			`"mesh 6x6"`, `"torus 6x6"`, `"hypercube 5"`, `"fullmesh 12"`,
+		}},
+		{"values", valuesDemo, []string{"lamb set shifts"}},
+		{"predetermined", predeterminedDemo, []string{"first lamb set:", "after new fault:"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out strings.Builder
+			if err := tc.demo(&out); err != nil {
+				t.Fatal(err)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(out.String(), want) {
+					t.Errorf("output missing %q:\n%s", want, out.String())
+				}
+			}
+		})
+	}
+}

@@ -34,6 +34,13 @@ type Spec struct {
 	Meshes [][]int    `json:"meshes"`
 	Models []Model    `json:"models"`
 	Procs  []ProcSpec `json:"procs"`
+	// Topology selects the network family every grid mesh is built as:
+	// "" or "mesh" (rectangular, the default), "torus" (wrap-around links,
+	// solved by the generic TorusLamb path), or "hypercube" (every width
+	// must be 2). Part of the campaign identity; omitempty keeps the spec
+	// keys of pre-topology checkpoints valid. Full meshes are rejected —
+	// they have no lamb problem to sample.
+	Topology string `json:"topology,omitempty"`
 	// K is the number of routing rounds (k-round connectivity target).
 	K int `json:"k"`
 	// Trials is the per-point trial budget — the quantity that defines the
@@ -60,6 +67,15 @@ func (s *Spec) shardSize() int {
 		return s.ShardSize
 	}
 	return DefaultShardSize
+}
+
+// topology canonicalizes the Topology field: "mesh" and "" are the same
+// campaign (and the same spec key).
+func (s *Spec) topology() string {
+	if s.Topology == "mesh" {
+		return ""
+	}
+	return s.Topology
 }
 
 // Points returns the number of grid points.
@@ -117,6 +133,9 @@ type point struct {
 	proc    ProcSpec
 	orders  routing.MultiOrder
 	samp    *sampler
+	// generic routes the trial solve through core.TorusLamb instead of the
+	// rectangular count pipeline (tori only; it allocates per trial).
+	generic bool
 }
 
 // buildGrid validates the spec and precomputes every grid point.
@@ -130,9 +149,29 @@ func buildGrid(spec *Spec) ([]*point, []*mesh.Mesh, error) {
 	if spec.Trials < 1 {
 		return nil, nil, fmt.Errorf("campaign: trials must be >= 1")
 	}
+	topo := spec.topology()
+	switch topo {
+	case "", "torus", "hypercube":
+	default:
+		return nil, nil, fmt.Errorf("campaign: unsupported topology %q (want mesh, torus, or hypercube)", spec.Topology)
+	}
 	meshes := make([]*mesh.Mesh, len(spec.Meshes))
 	for i, widths := range spec.Meshes {
-		m, err := mesh.New(widths...)
+		var m *mesh.Mesh
+		var err error
+		switch topo {
+		case "torus":
+			m, err = mesh.NewTorus(widths...)
+		case "hypercube":
+			for _, w := range widths {
+				if w != 2 {
+					return nil, nil, fmt.Errorf("campaign: hypercube needs every width to be 2, got %v", widths)
+				}
+			}
+			m, err = mesh.NewHypercube(len(widths))
+		default:
+			m, err = mesh.New(widths...)
+		}
 		if err != nil {
 			return nil, nil, fmt.Errorf("campaign: mesh %v: %w", widths, err)
 		}
@@ -166,6 +205,7 @@ func buildGrid(spec *Spec) ([]*point, []*mesh.Mesh, error) {
 					proc:    proc,
 					orders:  orders,
 					samp:    samp,
+					generic: m.Torus(),
 				})
 			}
 		}
@@ -231,7 +271,19 @@ func (w *worker) runTrial(spec *Spec, pts []*point, pointIdx int, trial int64, a
 	f := w.faults[pt.meshIdx]
 	drawFaults(pt.m, f, pt.model, count, &r, w.coord[pt.meshIdx], w.head[pt.meshIdx])
 	start := time.Now()
-	_, lambs, err := w.solver.Lamb1Count(f, pt.orders, 1)
+	var lambs int64
+	var err error
+	if pt.generic {
+		// Tori fall outside the rectangular count pipeline; the generic
+		// solve materializes the lamb set (and allocates) every trial.
+		var res *core.Result
+		res, err = core.TorusLamb(f, pt.orders)
+		if err == nil {
+			lambs = int64(res.NumLambs())
+		}
+	} else {
+		_, lambs, err = w.solver.Lamb1Count(f, pt.orders, 1)
+	}
 	if err != nil {
 		return fmt.Errorf("campaign: point %d trial %d: %w", pointIdx, trial, err)
 	}

@@ -39,15 +39,18 @@ type checkpoint struct {
 // results. Workers is deliberately excluded (any worker count produces the
 // same results).
 func specKey(spec *Spec) string {
+	// Topology is canonicalized ("mesh" == "") and omitted when empty, so
+	// pre-topology checkpoints keep their spec keys.
 	canon := struct {
 		Meshes    [][]int    `json:"meshes"`
 		Models    []Model    `json:"models"`
 		Procs     []ProcSpec `json:"procs"`
+		Topology  string     `json:"topology,omitempty"`
 		K         int        `json:"k"`
 		Trials    int64      `json:"trials"`
 		Seed      int64      `json:"seed"`
 		ShardSize int        `json:"shard_size"`
-	}{spec.Meshes, spec.Models, spec.Procs, spec.K, spec.Trials, spec.Seed, spec.shardSize()}
+	}{spec.Meshes, spec.Models, spec.Procs, spec.topology(), spec.K, spec.Trials, spec.Seed, spec.shardSize()}
 	raw, err := json.Marshal(canon)
 	if err != nil {
 		panic(fmt.Sprintf("campaign: spec not marshalable: %v", err))

@@ -1,0 +1,98 @@
+package campaign
+
+import (
+	"context"
+	"testing"
+)
+
+// topoSpec shrinks testSpec to one mesh per run so the generic (torus)
+// solve stays fast.
+func topoSpec(topology string, widths []int) Spec {
+	return Spec{
+		Meshes:    [][]int{widths},
+		Models:    []Model{ModelNode, ModelMixed},
+		Procs:     []ProcSpec{{Proc: ProcFixed, Count: 3}},
+		Topology:  topology,
+		K:         2,
+		Trials:    24,
+		Seed:      42,
+		ShardSize: 8,
+	}
+}
+
+// TestTopologyRunDeterministicAcrossWorkers extends the campaign's core
+// guarantee — byte-identical results at any worker count — to the torus and
+// hypercube grids.
+func TestTopologyRunDeterministicAcrossWorkers(t *testing.T) {
+	cases := []struct {
+		topology string
+		widths   []int
+	}{
+		{"torus", []int{5, 5}},
+		{"hypercube", []int{2, 2, 2, 2}},
+	}
+	for _, tc := range cases {
+		var ref string
+		for _, workers := range []int{1, 2, 4} {
+			spec := topoSpec(tc.topology, tc.widths)
+			spec.Workers = workers
+			res, err := Run(context.Background(), spec, Opts{})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", tc.topology, workers, err)
+			}
+			if !res.Complete {
+				t.Fatalf("%s workers=%d: campaign incomplete", tc.topology, workers)
+			}
+			s := strip(t, res)
+			if ref == "" {
+				ref = s
+			} else if s != ref {
+				t.Fatalf("%s workers=%d: results differ from workers=1", tc.topology, workers)
+			}
+		}
+	}
+}
+
+// TestTopologySpecValidation: unsupported topologies and malformed shapes
+// fail buildGrid with a clear error.
+func TestTopologySpecValidation(t *testing.T) {
+	bad := []Spec{
+		topoSpec("fullmesh", []int{12}),
+		topoSpec("klein-bottle", []int{4, 4}),
+		topoSpec("hypercube", []int{2, 3, 2}),
+	}
+	for _, spec := range bad {
+		if _, err := Run(context.Background(), spec, Opts{}); err == nil {
+			t.Errorf("topology %q meshes %v: campaign ran, want an error", spec.Topology, spec.Meshes)
+		}
+	}
+	// "mesh" and "" are the same campaign.
+	if specKey(&Spec{Topology: "mesh"}) != specKey(&Spec{}) {
+		t.Error(`spec keys of Topology "mesh" and "" differ`)
+	}
+}
+
+// TestTopologySpecKeyBackCompat pins the spec key of a topology-less spec to
+// its pre-topology value, so checkpoints recorded before the Topology field
+// existed still resume.
+func TestTopologySpecKeyBackCompat(t *testing.T) {
+	spec := Spec{
+		Meshes:    [][]int{{5, 5}, {4, 4}},
+		Models:    []Model{ModelNode, ModelMixed},
+		Procs:     []ProcSpec{{Proc: ProcFixed, Count: 3}, {Proc: ProcMTBF, Mission: 50, Theta: 400}},
+		K:         2,
+		Trials:    24,
+		Seed:      42,
+		ShardSize: 8,
+	}
+	key := specKey(&spec)
+	withTopo := spec
+	withTopo.Topology = "mesh"
+	if got := specKey(&withTopo); got != key {
+		t.Fatalf(`Topology "mesh" changed the spec key: %s != %s`, got, key)
+	}
+	withTopo.Topology = "torus"
+	if got := specKey(&withTopo); got == key {
+		t.Fatal("torus campaign shares its spec key with the mesh campaign")
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"lambmesh/internal/mesh"
 	"lambmesh/internal/routing"
@@ -50,6 +51,10 @@ type Reconfigurer struct {
 	inc *incState
 	// phases is the phase split of the last AddFaults recompute.
 	phases PhaseTimes
+	// generic routes every recompute through TorusLamb (the Section 7
+	// profile-grouped SEC/DEC fallback) instead of the rectangular mesh
+	// pipeline; set by NewGenericReconfigurer for tori.
+	generic bool
 }
 
 // NewReconfigurer starts with a fault-free mesh and an empty lamb set.
@@ -65,6 +70,24 @@ func NewReconfigurer(m *mesh.Mesh, orders routing.MultiOrder, keepLambs bool) (*
 		orders:               orders,
 		KeepLambs:            keepLambs,
 		IncrementalThreshold: DefaultIncrementalThreshold,
+	}, nil
+}
+
+// NewGenericReconfigurer is NewReconfigurer for topologies the rectangular
+// mesh pipeline cannot handle — tori in particular. Every recompute runs
+// the generic O(kN^2) TorusLamb path, and with keepLambs the previous
+// generation's still-good lambs are folded back into the result (a superset
+// of a valid lamb set is valid: lambs remain routable through, so shrinking
+// the endpoint set never breaks pairwise reachability).
+func NewGenericReconfigurer(m *mesh.Mesh, orders routing.MultiOrder, keepLambs bool) (*Reconfigurer, error) {
+	if err := orders.Validate(m.Dims()); err != nil {
+		return nil, err
+	}
+	return &Reconfigurer{
+		faults:    mesh.NewFaultSet(m),
+		orders:    orders,
+		KeepLambs: keepLambs,
+		generic:   true,
 	}, nil
 }
 
@@ -91,6 +114,9 @@ func (r *Reconfigurer) LastPhases() PhaseTimes { return r.phases }
 // the recompute patches that state instead of running the full pipeline;
 // the lamb set is byte-identical either way.
 func (r *Reconfigurer) AddFaults(nodes []mesh.Coord, links []mesh.Link) (*Result, error) {
+	if r.generic {
+		return r.genericAddFaults(nodes, links)
+	}
 	// Collect the genuine delta before mutating the fault set: the
 	// incremental path re-checks surviving reachability entries against
 	// exactly these, and duplicates would only slow that down.
@@ -135,6 +161,41 @@ func (r *Reconfigurer) AddFaults(nodes []mesh.Coord, links []mesh.Link) (*Result
 	if err != nil {
 		r.inc = nil // warm state may be half-patched; rebuild next time
 		return nil, err
+	}
+	r.lambs = res.Lambs
+	r.generation++
+	return res, nil
+}
+
+// genericAddFaults is AddFaults on the generic path: grow the fault set,
+// rerun TorusLamb from scratch, and (with KeepLambs) union in the previous
+// generation's still-good lambs, re-sorted to mesh-index order.
+func (r *Reconfigurer) genericAddFaults(nodes []mesh.Coord, links []mesh.Link) (*Result, error) {
+	for _, c := range nodes {
+		if !r.faults.Mesh().Contains(c) {
+			return nil, fmt.Errorf("core: new fault %v outside mesh", c)
+		}
+		r.faults.AddNode(c)
+	}
+	for _, l := range links {
+		r.faults.AddLink(l) // panics on invalid links, as before
+	}
+	res, err := TorusLamb(r.faults, r.orders)
+	if err != nil {
+		return nil, err
+	}
+	if r.KeepLambs {
+		for _, c := range r.lambs {
+			if r.faults.NodeFaulty(c) || res.IsLamb(c) {
+				continue
+			}
+			res.lambIdx[r.faults.Mesh().Index(c)] = struct{}{}
+			res.Lambs = append(res.Lambs, c)
+		}
+		m := r.faults.Mesh()
+		sort.Slice(res.Lambs, func(i, j int) bool {
+			return m.Index(res.Lambs[i]) < m.Index(res.Lambs[j])
+		})
 	}
 	r.lambs = res.Lambs
 	r.generation++

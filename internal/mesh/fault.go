@@ -37,6 +37,7 @@ func (l Link) String() string {
 // all its incident links unusable; those links are not listed in F_L.
 type FaultSet struct {
 	m     *Mesh
+	topo  Topology           // the topology links are validated against; m == topo.Grid()
 	nodes map[int64]struct{} // keyed by linear index
 	order []Coord            // insertion order, for deterministic iteration
 	links map[linkKey]struct{}
@@ -49,17 +50,37 @@ type linkKey struct {
 	dir  int
 }
 
-// NewFaultSet returns an empty fault set for mesh m.
-func NewFaultSet(m *Mesh) *FaultSet {
+// NewFaultSet returns an empty fault set for mesh m (the topology is the
+// mesh itself).
+func NewFaultSet(m *Mesh) *FaultSet { return NewFaultSetOn(m) }
+
+// NewFaultSetOn returns an empty fault set over an arbitrary topology.
+// Nodes are addressed on t.Grid(); links are validated with t.LinkHead.
+func NewFaultSetOn(t Topology) *FaultSet {
 	return &FaultSet{
-		m:     m,
+		m:     t.Grid(),
+		topo:  t,
 		nodes: make(map[int64]struct{}),
 		links: make(map[linkKey]struct{}),
 	}
 }
 
-// Mesh returns the mesh the fault set belongs to.
+// Mesh returns the coordinate grid the fault set addresses nodes on.
 func (f *FaultSet) Mesh() *Mesh { return f.m }
+
+// Topology returns the topology the fault set belongs to. For fault sets
+// built with NewFaultSet this is the mesh itself.
+func (f *FaultSet) Topology() Topology { return f.topo }
+
+// LinkHead returns the head node of l under the fault set's topology,
+// panicking if l is not a valid link.
+func (f *FaultSet) LinkHead(l Link) Coord {
+	head, ok := f.topo.LinkHead(l)
+	if !ok {
+		panic(fmt.Sprintf("mesh: link %v invalid in %v", l, f.topo))
+	}
+	return head
+}
 
 // Reset empties the fault set in place, retaining map buckets and the
 // insertion-order backing arrays so a long-running trial loop can redraw
@@ -110,11 +131,8 @@ func (f *FaultSet) AddLink(l Link) {
 	if !f.m.Contains(l.From) {
 		panic(fmt.Sprintf("mesh: link tail %v outside %v", l.From, f.m))
 	}
-	if _, ok := f.m.Neighbor(l.From, l.Dim, l.Dir); !ok {
-		panic(fmt.Sprintf("mesh: link %v has no head in %v", l, f.m))
-	}
-	if l.Dir != 1 && l.Dir != -1 {
-		panic("mesh: link direction must be +1 or -1")
+	if _, ok := f.topo.LinkHead(l); !ok {
+		panic(fmt.Sprintf("mesh: link %v invalid in %v", l, f.topo))
 	}
 	k := linkKey{f.m.Index(l.From), l.Dim, l.Dir}
 	if _, ok := f.links[k]; ok {
@@ -153,7 +171,7 @@ func (f *FaultSet) Usable(l Link) bool {
 	if f.LinkFaulty(l) || f.NodeFaulty(l.From) {
 		return false
 	}
-	return !f.NodeFaulty(l.To(f.m))
+	return !f.NodeFaulty(f.LinkHead(l))
 }
 
 // NumNodeFaults returns |F_N|.
@@ -176,9 +194,10 @@ func (f *FaultSet) LinkFaults() []Link { return f.lord }
 // GoodNodes returns the number of nonfaulty nodes.
 func (f *FaultSet) GoodNodes() int64 { return f.m.Nodes() - int64(len(f.nodes)) }
 
-// Clone returns an independent copy of the fault set.
+// Clone returns an independent copy of the fault set (over the same
+// topology).
 func (f *FaultSet) Clone() *FaultSet {
-	out := NewFaultSet(f.m)
+	out := NewFaultSetOn(f.topo)
 	for _, c := range f.order {
 		out.AddNode(c)
 	}
@@ -216,10 +235,16 @@ func dropDim(c Coord, dim int) Coord {
 // faults chosen uniformly at random (the paper's simulation fault model,
 // Section 8). The rng makes trials reproducible.
 func RandomNodeFaults(m *Mesh, count int, rng *rand.Rand) *FaultSet {
+	return RandomNodeFaultsOn(m, count, rng)
+}
+
+// RandomNodeFaultsOn is RandomNodeFaults over an arbitrary topology.
+func RandomNodeFaultsOn(t Topology, count int, rng *rand.Rand) *FaultSet {
+	m := t.Grid()
 	if int64(count) > m.Nodes() {
 		panic(fmt.Sprintf("mesh: %d faults exceed %d nodes", count, m.Nodes()))
 	}
-	f := NewFaultSet(m)
+	f := NewFaultSetOn(t)
 	seen := make(map[int64]struct{}, count)
 	for len(seen) < count {
 		idx := rng.Int63n(m.Nodes())
@@ -238,6 +263,21 @@ func RandomNodeFaults(m *Mesh, count int, rng *rand.Rand) *FaultSet {
 // faults throughout even though its simulations use node faults only.
 func RandomLinkFaults(f *FaultSet, count int, rng *rand.Rand) {
 	m := f.m
+	if fm, ok := f.topo.(*FullMesh); ok {
+		// Full meshes draw a random ordered pair (tail, delta) instead of a
+		// grid direction; the grid path below would only ever hit delta 1.
+		for added := 0; added < count; {
+			c := m.CoordOf(rng.Int63n(m.Nodes()))
+			delta := 1 + rng.Intn(int(fm.Nodes())-1)
+			l := Link{From: c, Dim: 0, Dir: delta}
+			if f.NodeFaulty(c) || f.NodeFaulty(f.LinkHead(l)) || f.LinkFaulty(l) {
+				continue
+			}
+			f.AddLink(l)
+			added++
+		}
+		return
+	}
 	for added := 0; added < count; {
 		c := m.CoordOf(rng.Int63n(m.Nodes()))
 		dim := rng.Intn(m.Dims())

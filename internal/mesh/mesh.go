@@ -21,6 +21,9 @@ type Mesh struct {
 	strides []int64 // strides[i] = product of widths[0..i-1]
 	n       int64   // total number of nodes
 	torus   bool
+	// kind overrides the serialization tag for specializations that are
+	// structurally plain meshes ("hypercube"); empty for ordinary meshes.
+	kind string
 }
 
 // New returns the mesh M_d(widths[0], ..., widths[d-1]). Every width must be
@@ -44,6 +47,26 @@ func NewCube(d, n int) (*Mesh, error) {
 		w[i] = n
 	}
 	return New(w...)
+}
+
+// NewHypercube returns Q_d, the d-dimensional binary hypercube
+// M_d(2,...,2), carrying the "hypercube" topology tag (Section 7 treats
+// hypercubes as width-2 meshes, so the rectangular lamb algorithms apply
+// unchanged; only the name and serialization differ).
+func NewHypercube(d int) (*Mesh, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("mesh: hypercube needs at least one dimension, got %d", d)
+	}
+	w := make([]int, d)
+	for i := range w {
+		w[i] = 2
+	}
+	m, err := New(w...)
+	if err != nil {
+		return nil, err
+	}
+	m.kind = "hypercube"
+	return m, nil
 }
 
 // MustNew is New but panics on error; for tests and examples with constant
@@ -207,8 +230,12 @@ func (m *Mesh) ForEachNode(fn func(c Coord)) {
 	}
 }
 
-// String renders the mesh as, e.g., "M_3(32x32x32)" or "T_2(8x8)" for a torus.
+// String renders the mesh as, e.g., "M_3(32x32x32)", "T_2(8x8)" for a
+// torus, or "Q_4" for a hypercube.
 func (m *Mesh) String() string {
+	if m.kind == "hypercube" {
+		return fmt.Sprintf("Q_%d", len(m.widths))
+	}
 	kind := "M"
 	if m.torus {
 		kind = "T"

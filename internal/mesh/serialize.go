@@ -10,27 +10,36 @@ import (
 
 // WriteFaults serializes a fault set in a line-oriented text format:
 //
-//	mesh 12x12          (or "torus 8x8")
+//	mesh 12x12          (or "torus 8x8", "hypercube 4", "fullmesh 12")
 //	node 9,1
 //	link 1,1 0 +1       (tail coordinate, dimension, direction)
 //
-// Blank lines and lines starting with '#' are ignored on read. The format
-// is what cmd/lambfind's -fault-file consumes and -save emits, so fault
+// The header carries the topology tag: "mesh"/"torus" take a width list,
+// "hypercube" the dimension count d (widths are all 2), "fullmesh" the node
+// count N (link directions are then clockwise deltas in [1, N-1]). Blank
+// lines and lines starting with '#' are ignored on read. The format is what
+// cmd/lambfind's -fault-file consumes and -save emits, so fault
 // configurations round-trip between diagnostics runs.
 func WriteFaults(w io.Writer, f *FaultSet) error {
 	bw := bufio.NewWriter(w)
 	m := f.Mesh()
-	kind := "mesh"
-	if m.Torus() {
-		kind = "torus"
-	}
-	dims := make([]string, m.Dims())
-	for i := range dims {
-		dims[i] = strconv.Itoa(m.Width(i))
+	kind := f.Topology().Tag()
+	var shape string
+	switch kind {
+	case "hypercube":
+		shape = strconv.Itoa(m.Dims())
+	case "fullmesh":
+		shape = strconv.FormatInt(m.Nodes(), 10)
+	default:
+		dims := make([]string, m.Dims())
+		for i := range dims {
+			dims[i] = strconv.Itoa(m.Width(i))
+		}
+		shape = strings.Join(dims, "x")
 	}
 	fmt.Fprintf(bw, "# lambmesh fault set: %d node faults, %d link faults\n",
 		f.NumNodeFaults(), f.NumLinkFaults())
-	fmt.Fprintf(bw, "%s %s\n", kind, strings.Join(dims, "x"))
+	fmt.Fprintf(bw, "%s %s\n", kind, shape)
 	for _, c := range f.SortedNodeFaults() {
 		fmt.Fprintf(bw, "node %s\n", strings.Trim(c.String(), "()"))
 	}
@@ -75,6 +84,38 @@ func ReadFaults(r io.Reader) (*FaultSet, error) {
 				return nil, fmt.Errorf("mesh: line %d: %v", lineNo, err)
 			}
 			f = NewFaultSet(m)
+		case "hypercube":
+			if f != nil {
+				return nil, fmt.Errorf("mesh: line %d: duplicate mesh declaration", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("mesh: line %d: want 'hypercube d'", lineNo)
+			}
+			d, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("mesh: line %d: bad dimension count %q", lineNo, fields[1])
+			}
+			m, err := NewHypercube(d)
+			if err != nil {
+				return nil, fmt.Errorf("mesh: line %d: %v", lineNo, err)
+			}
+			f = NewFaultSet(m)
+		case "fullmesh":
+			if f != nil {
+				return nil, fmt.Errorf("mesh: line %d: duplicate mesh declaration", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("mesh: line %d: want 'fullmesh N'", lineNo)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("mesh: line %d: bad node count %q", lineNo, fields[1])
+			}
+			fm, err := NewFullMesh(n)
+			if err != nil {
+				return nil, fmt.Errorf("mesh: line %d: %v", lineNo, err)
+			}
+			f = NewFaultSetOn(fm)
 		case "node":
 			if f == nil {
 				return nil, fmt.Errorf("mesh: line %d: node before mesh declaration", lineNo)
@@ -106,16 +147,17 @@ func ReadFaults(r io.Reader) (*FaultSet, error) {
 				return nil, fmt.Errorf("mesh: line %d: bad dimension %q", lineNo, fields[2])
 			}
 			dir, err := strconv.Atoi(fields[3])
-			if err != nil || (dir != 1 && dir != -1) {
+			if err != nil {
 				return nil, fmt.Errorf("mesh: line %d: bad direction %q", lineNo, fields[3])
 			}
 			if !f.Mesh().Contains(c) {
 				return nil, fmt.Errorf("mesh: line %d: link tail %v outside %v", lineNo, c, f.Mesh())
 			}
-			if _, ok := f.Mesh().Neighbor(c, dim, dir); !ok {
-				return nil, fmt.Errorf("mesh: line %d: link %v dim %d dir %d has no head", lineNo, c, dim, dir)
+			l := Link{From: c, Dim: dim, Dir: dir}
+			if _, ok := f.Topology().LinkHead(l); !ok {
+				return nil, fmt.Errorf("mesh: line %d: link %v dim %d dir %d invalid in %v", lineNo, c, dim, dir, f.Topology())
 			}
-			f.AddLink(Link{From: c, Dim: dim, Dir: dir})
+			f.AddLink(l)
 		default:
 			return nil, fmt.Errorf("mesh: line %d: unknown directive %q", lineNo, fields[0])
 		}

@@ -1,0 +1,259 @@
+package mesh
+
+import "fmt"
+
+// Topology abstracts the network substrate the routing, wormhole, and
+// campaign layers consume: a set of nodes addressed by Coord over a *Mesh
+// coordinate grid, plus the directed links between them. Meshes, tori, and
+// hypercubes implement it directly on *Mesh; FullMesh layers all-to-all
+// links over a one-dimensional grid. The contract every implementation must
+// honor:
+//
+//   - Grid() is the coordinate substrate: Index/CoordOf/Contains and node
+//     enumeration are always delegated to it, so node identity is uniform
+//     across topologies.
+//   - ChannelID is a dense bijection from valid links to [0, NumChannels());
+//     the wormhole simulator's flat channel-state arrays index by it.
+//   - LinkHead(l) returns the head node of l and reports whether l is a
+//     valid link of the topology. It is the single source of truth for link
+//     validity (AddLink, Usable, and fault-file parsing all route through
+//     it).
+//   - BasePath is the canonical fault-oblivious dimension-ordered path; it
+//     pins the serialization-independent notion of "the default route" that
+//     tests compare against.
+//   - Tag is the stable serialization token ("mesh", "torus", "hypercube",
+//     "fullmesh") used by fault files and checkpoint keys.
+type Topology interface {
+	// Grid returns the coordinate substrate the topology addresses nodes on.
+	Grid() *Mesh
+	// Tag returns the stable serialization token for fault files.
+	Tag() string
+	// NumChannels returns the number of directed physical channels.
+	NumChannels() int
+	// ChannelID returns the dense id of a valid directed link in
+	// [0, NumChannels()). Behavior on invalid links is undefined.
+	ChannelID(l Link) int
+	// LinkHead returns the head node of l and whether l is a valid link.
+	LinkHead(l Link) (Coord, bool)
+	// Distance returns the minimum hop count between two nodes.
+	Distance(a, b Coord) int
+	// ForEachLink calls fn for every outgoing link of node from, in a
+	// deterministic order (ascending dimension, then direction -1 before +1
+	// on grids; ascending delta on full meshes).
+	ForEachLink(from Coord, fn func(l Link))
+	// BasePath returns the canonical dimension-ordered fault-oblivious path
+	// from a to b, inclusive of both endpoints.
+	BasePath(a, b Coord) []Coord
+	// String renders a human-readable name, e.g. "M_2(8x8)", "T_2(6x6)",
+	// "Q_4", "K_12".
+	String() string
+}
+
+// TopologyNames lists the accepted -topology spellings, in flag-help order.
+func TopologyNames() []string { return []string{"mesh", "torus", "hypercube", "fullmesh"} }
+
+// --- *Mesh as a Topology (mesh, torus, hypercube) ---
+
+// Grid returns the mesh itself: meshes are their own coordinate substrate.
+func (m *Mesh) Grid() *Mesh { return m }
+
+// Tag returns the topology's serialization token: "torus" for tori,
+// "hypercube" for meshes built with NewHypercube, "mesh" otherwise.
+func (m *Mesh) Tag() string {
+	if m.torus {
+		return "torus"
+	}
+	if m.kind != "" {
+		return m.kind
+	}
+	return "mesh"
+}
+
+// NumChannels returns the dense channel-space size 2dN. Boundary nodes of a
+// non-torus mesh leave some ids unused; the id space stays contiguous so
+// per-channel arrays index without per-node offsets.
+func (m *Mesh) NumChannels() int { return int(m.n) * len(m.widths) * 2 }
+
+// ChannelID returns (Index(From)*d + Dim)*2 + dirBit, the layout the
+// wormhole simulator has always used for meshes (so mesh channel ids are
+// byte-identical to the pre-Topology code).
+func (m *Mesh) ChannelID(l Link) int {
+	dirBit := 0
+	if l.Dir > 0 {
+		dirBit = 1
+	}
+	return (int(m.Index(l.From))*len(m.widths)+l.Dim)*2 + dirBit
+}
+
+// LinkHead returns the head of l, requiring Dir in {+1, -1} and (off a
+// torus) the head to exist.
+func (m *Mesh) LinkHead(l Link) (Coord, bool) {
+	if l.Dir != 1 && l.Dir != -1 {
+		return nil, false
+	}
+	if l.Dim < 0 || l.Dim >= len(m.widths) || !m.Contains(l.From) {
+		return nil, false
+	}
+	return m.Neighbor(l.From, l.Dim, l.Dir)
+}
+
+// Distance returns the L1 distance (with per-dimension wrap on a torus).
+func (m *Mesh) Distance(a, b Coord) int {
+	d := 0
+	for i := range a {
+		delta := a[i] - b[i]
+		if delta < 0 {
+			delta = -delta
+		}
+		if m.torus {
+			if wrap := m.widths[i] - delta; wrap < delta {
+				delta = wrap
+			}
+		}
+		d += delta
+	}
+	return d
+}
+
+// ForEachLink enumerates the outgoing links of from: per dimension,
+// direction -1 then +1, skipping boundary non-links on non-torus meshes.
+func (m *Mesh) ForEachLink(from Coord, fn func(l Link)) {
+	for dim := range m.widths {
+		for _, dir := range []int{-1, 1} {
+			if _, ok := m.Neighbor(from, dim, dir); ok {
+				fn(Link{From: from, Dim: dim, Dir: dir})
+			}
+		}
+	}
+}
+
+// BasePath walks dimensions in ascending order; on a torus each dimension
+// takes the minimal direction, ties broken toward +1 (the same convention as
+// routing.Path).
+func (m *Mesh) BasePath(a, b Coord) []Coord {
+	path := []Coord{a.Clone()}
+	cur := a.Clone()
+	for dim := range m.widths {
+		for cur[dim] != b[dim] {
+			dir := 1
+			if !m.torus {
+				if b[dim] < cur[dim] {
+					dir = -1
+				}
+			} else {
+				w := m.widths[dim]
+				fwd := ((b[dim]-cur[dim])%w + w) % w
+				if w-fwd < fwd {
+					dir = -1
+				}
+			}
+			next, ok := m.Neighbor(cur, dim, dir)
+			if !ok {
+				panic(fmt.Sprintf("mesh: BasePath fell off %v at %v", m, cur))
+			}
+			cur = next
+			path = append(path, cur.Clone())
+		}
+	}
+	return path
+}
+
+// --- FullMesh ---
+
+// FullMesh is the complete network K_N: every ordered pair of distinct nodes
+// has a dedicated directed link, so any packet can go direct (one hop) or
+// via a single intermediate (two hops) — the topology Cano et al. (HOTI25)
+// show routes deadlock-free with zero extra virtual channels, which makes it
+// the natural contrast point for the k-VC cost the lamb method pays.
+//
+// The coordinate substrate is the one-dimensional torus T_1(N), so node i is
+// Coord{i} and the link from i to j is encoded with the clockwise delta:
+// Link{From: Coord{i}, Dim: 0, Dir: (j-i) mod N}, delta in [1, N-1]. The
+// torus substrate makes Link.To and Neighbor resolve delta steps by
+// wrapping, so links round-trip through all grid-based code unchanged.
+type FullMesh struct {
+	grid *Mesh
+	n    int
+}
+
+// NewFullMesh returns the complete network on n nodes, n >= 3.
+func NewFullMesh(n int) (*FullMesh, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("mesh: full mesh needs at least 3 nodes, got %d", n)
+	}
+	grid, err := NewTorus(n)
+	if err != nil {
+		return nil, err
+	}
+	return &FullMesh{grid: grid, n: n}, nil
+}
+
+// MustNewFullMesh is NewFullMesh but panics on error.
+func MustNewFullMesh(n int) *FullMesh {
+	fm, err := NewFullMesh(n)
+	if err != nil {
+		panic(err)
+	}
+	return fm
+}
+
+// Nodes returns N.
+func (fm *FullMesh) Nodes() int64 { return int64(fm.n) }
+
+// Grid returns the T_1(N) coordinate substrate.
+func (fm *FullMesh) Grid() *Mesh { return fm.grid }
+
+// Tag returns "fullmesh".
+func (fm *FullMesh) Tag() string { return "fullmesh" }
+
+// NumChannels returns N(N-1), one directed channel per ordered node pair.
+func (fm *FullMesh) NumChannels() int { return fm.n * (fm.n - 1) }
+
+// ChannelID returns from*(N-1) + (delta-1): each node owns a contiguous
+// block of N-1 outgoing channels ordered by clockwise delta.
+func (fm *FullMesh) ChannelID(l Link) int {
+	return int(fm.grid.Index(l.From))*(fm.n-1) + (l.Dir - 1)
+}
+
+// LinkHead accepts Dim 0 and any delta Dir in [1, N-1].
+func (fm *FullMesh) LinkHead(l Link) (Coord, bool) {
+	if l.Dim != 0 || l.Dir < 1 || l.Dir >= fm.n || !fm.grid.Contains(l.From) {
+		return nil, false
+	}
+	return fm.grid.Neighbor(l.From, 0, l.Dir)
+}
+
+// Distance is 0 or 1: every pair of distinct nodes is adjacent.
+func (fm *FullMesh) Distance(a, b Coord) int {
+	if a.Equal(b) {
+		return 0
+	}
+	return 1
+}
+
+// ForEachLink enumerates the N-1 outgoing links of from in ascending delta.
+func (fm *FullMesh) ForEachLink(from Coord, fn func(l Link)) {
+	for delta := 1; delta < fm.n; delta++ {
+		fn(Link{From: from, Dim: 0, Dir: delta})
+	}
+}
+
+// BasePath is the direct link.
+func (fm *FullMesh) BasePath(a, b Coord) []Coord {
+	if a.Equal(b) {
+		return []Coord{a.Clone()}
+	}
+	return []Coord{a.Clone(), b.Clone()}
+}
+
+// Delta returns the link delta from node a to node b, panicking if a == b.
+func (fm *FullMesh) Delta(a, b Coord) int {
+	delta := ((b[0] - a[0]) % fm.n + fm.n) % fm.n
+	if delta == 0 {
+		panic(fmt.Sprintf("mesh: no link from %v to itself", a))
+	}
+	return delta
+}
+
+// String renders "K_N".
+func (fm *FullMesh) String() string { return fmt.Sprintf("K_%d", fm.n) }

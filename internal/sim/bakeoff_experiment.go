@@ -47,6 +47,9 @@ func runBakeoff(cfg Config) *Table {
 			fs := bakeoffFaults(m, model, cfg.Seed)
 			event := bakeoffEvent(m, fs, cfg.Seed)
 			for si, name := range wormhole.StrategyNames() {
+				if name == "direct" {
+					continue // full-mesh only; see the topo-compare experiment
+				}
 				if name == "ring" && m.Dims() != 2 {
 					t.AddRow(fmt.Sprint(m), model, name, "n/a (2D only)", "-",
 						"-", "-", "-", "-", "-", "-")

@@ -277,7 +277,7 @@ func TestRegistryCoversDesignIndex(t *testing.T) {
 		"abl-rounds", "abl-vcover", "abl-blockfault", "abl-sptree", "worm",
 		"ext-linkfaults", "ext-reconfig", "ext-congestion", "ext-torus",
 		"worm-saturation", "worm-recovery", "classtable", "increconf",
-		"bakeoff",
+		"bakeoff", "topo-compare",
 	}
 	for _, id := range ids {
 		if _, ok := Lookup(id); !ok {

@@ -44,6 +44,43 @@ func MessageFromRoute(m *mesh.Mesh, orders routing.MultiOrder, r *routing.Route,
 		return nil, fmt.Errorf("wormhole: route has %d vias for %d rounds", len(r.Vias), orders.Rounds())
 	}
 	for t := 0; t < orders.Rounds(); t++ {
+		if m.Torus() {
+			// Dateline discipline (Dally–Seitz): round t owns the VC pair
+			// (2t, 2t+1). Within each dimension's segment, hops before the
+			// wrap link ride the low VC; the wrap hop and everything after it
+			// in that dimension ride the high VC, and the class resets at the
+			// next dimension. The low class never contains a wrap link (a
+			// line, acyclic) and a minimal route cannot wrap a dimension
+			// twice, so the high class is a line too — no VC class closes the
+			// ring, whence the 2k-VC deadlock freedom on tori.
+			vcLo, vcHi := 2*t, 2*t+1
+			if vcLo >= vcs {
+				vcLo = vcs - 1
+			}
+			if vcHi >= vcs {
+				vcHi = vcs - 1
+			}
+			seg := routing.Path(m, orders[t], stops[t], stops[t+1])
+			curDim, wrapped := -1, false
+			for i := 1; i < len(seg); i++ {
+				link, err := linkBetween(m, seg[i-1], seg[i])
+				if err != nil {
+					return nil, err
+				}
+				if link.Dim != curDim {
+					curDim, wrapped = link.Dim, false
+				}
+				if delta := seg[i][link.Dim] - seg[i-1][link.Dim]; delta > 1 || delta < -1 {
+					wrapped = true // coordinates jumped across the dateline
+				}
+				vc := vcLo
+				if wrapped {
+					vc = vcHi
+				}
+				msg.Hops = append(msg.Hops, Hop{Link: link, VC: vc})
+			}
+			continue
+		}
 		vc := t
 		if vc >= vcs {
 			vc = vcs - 1

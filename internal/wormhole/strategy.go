@@ -49,8 +49,9 @@ type StrategyBuilder func(f *mesh.FaultSet) (RouteStrategy, error)
 
 // StrategyNames lists the accepted -strategy spellings, in flag-help order.
 // The position of a name doubles as its sweep seed stream offset
-// (SweepSpec.StrategyStream), so the list order is part of the seed contract.
-func StrategyNames() []string { return []string{"lamb", "ring", "adaptive"} }
+// (SweepSpec.StrategyStream), so the list order is part of the seed
+// contract: new strategies are appended, never inserted.
+func StrategyNames() []string { return []string{"lamb", "ring", "adaptive", "direct"} }
 
 // StrategyIndex returns the position of a strategy name in StrategyNames.
 func StrategyIndex(name string) (int, error) {
@@ -79,6 +80,10 @@ func NewStrategyBuilder(name string, orders routing.MultiOrder) (StrategyBuilder
 		return func(f *mesh.FaultSet) (RouteStrategy, error) {
 			return NewAdaptiveStrategy(f)
 		}, nil
+	case "direct":
+		return func(f *mesh.FaultSet) (RouteStrategy, error) {
+			return NewDirectStrategy(f)
+		}, nil
 	default:
 		_, err := StrategyIndex(name)
 		return nil, err
@@ -96,9 +101,21 @@ type LambStrategy struct {
 	lambs  []mesh.Coord // static view only; rec.Lambs() otherwise
 }
 
-// NewLambStrategy builds the reconfigurable lamb strategy over f.
+// NewLambStrategy builds the reconfigurable lamb strategy over f. Meshes
+// and hypercubes run the rectangular pipeline; tori take the generic
+// (TorusLamb) path; full meshes are rejected — the lamb method solves a
+// problem the complete network does not have.
 func NewLambStrategy(f *mesh.FaultSet, orders routing.MultiOrder) (*LambStrategy, error) {
-	rec, err := core.NewReconfigurer(f.Mesh(), orders, true)
+	var rec *core.Reconfigurer
+	var err error
+	switch f.Topology().Tag() {
+	case "fullmesh":
+		return nil, fmt.Errorf("wormhole: lamb strategy does not support the full-mesh topology (use the direct strategy)")
+	case "torus":
+		rec, err = core.NewGenericReconfigurer(f.Mesh(), orders, true)
+	default:
+		rec, err = core.NewReconfigurer(f.Mesh(), orders, true)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -125,7 +142,15 @@ func lambView(o *routing.Oracle, orders routing.MultiOrder, lambs []mesh.Coord) 
 
 func (s *LambStrategy) Name() string           { return "lamb" }
 func (s *LambStrategy) Faults() *mesh.FaultSet { return s.o.Faults() }
-func (s *LambStrategy) MinVCs() int            { return s.orders.Rounds() }
+
+// MinVCs is k on meshes (one VC per round) and 2k on tori, where each round
+// needs a dateline VC pair to break the wrap-around cycles.
+func (s *LambStrategy) MinVCs() int {
+	if s.o.Faults().Mesh().Torus() {
+		return 2 * s.orders.Rounds()
+	}
+	return s.orders.Rounds()
+}
 
 func (s *LambStrategy) Sacrificed() []mesh.Coord {
 	if s.rec != nil {

@@ -32,6 +32,9 @@ type AdaptiveStrategy struct {
 
 // NewAdaptiveStrategy builds the adjacency tables over f.
 func NewAdaptiveStrategy(f *mesh.FaultSet) (*AdaptiveStrategy, error) {
+	if tag := f.Topology().Tag(); tag != "mesh" && tag != "hypercube" {
+		return nil, fmt.Errorf("wormhole: negative-first adaptive routing requires a mesh, not a %s", tag)
+	}
 	if f.Mesh().Torus() {
 		return nil, fmt.Errorf("wormhole: negative-first adaptive routing requires a mesh, not a torus")
 	}

@@ -21,8 +21,19 @@ type RingStrategy struct {
 	mod *faultring.Model
 }
 
-// NewRingStrategy rectangularizes f and returns the strategy.
+// NewRingStrategy rectangularizes f and returns the strategy. The
+// Boppana–Chalasani construction is defined on 2D meshes only, so every
+// other topology is rejected here, by tag, before any rectangularization
+// runs: wrap-around links would let a fault region span the dateline,
+// higher dimensions have no f-cube2 classes, and full meshes have no rings
+// at all.
 func NewRingStrategy(f *mesh.FaultSet) (*RingStrategy, error) {
+	if tag := f.Topology().Tag(); tag != "mesh" {
+		return nil, fmt.Errorf("wormhole: ring strategy requires a 2D mesh, not a %s (%v)", tag, f.Topology())
+	}
+	if f.Mesh().Dims() != 2 {
+		return nil, fmt.Errorf("wormhole: ring strategy requires a 2D mesh, not %v", f.Mesh())
+	}
 	mod, err := faultring.Build(f)
 	if err != nil {
 		return nil, err

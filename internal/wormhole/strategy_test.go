@@ -50,6 +50,9 @@ func TestStrategyRouteProperties(t *testing.T) {
 		)
 	}
 	for _, name := range StrategyNames() {
+		if name == "direct" {
+			continue // full-mesh only; covered by TestTopologyMatrix
+		}
 		t.Run(name, func(t *testing.T) {
 			for _, c := range cases {
 				m := mesh.MustNew(c.widths...)
@@ -184,6 +187,9 @@ func checkStrategyRoute(t *testing.T, name string, m *mesh.Mesh, f *mesh.FaultSe
 func TestStrategyAllPairsServedOrReported(t *testing.T) {
 	m := mesh.MustNew(8, 8)
 	for _, name := range StrategyNames() {
+		if name == "direct" {
+			continue // full-mesh only; covered by TestTopologyMatrix
+		}
 		s := strategyUnderTest(t, name, m, 5, 42)
 		f := s.Faults()
 		survivors := Survivors(f, s.Sacrificed())
@@ -261,6 +267,9 @@ func TestStrategySweepWorkerDeterminism(t *testing.T) {
 	f := mesh.RandomNodeFaults(m, 3, rng)
 	orders := routing.UniformAscending(2, 2)
 	for si, name := range StrategyNames() {
+		if name == "direct" {
+			continue // full-mesh only; covered by TestTopologyMatrix
+		}
 		builder, err := NewStrategyBuilder(name, orders)
 		if err != nil {
 			t.Fatal(err)

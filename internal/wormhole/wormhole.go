@@ -86,8 +86,9 @@ type vcKey struct {
 
 // Network simulates a set of messages over a faulty mesh.
 //
-// Channel state is dense: a directed physical channel has id
-// (nodeIndex*d + dim)*2 + dirBit and a virtual channel id chan*VCs + vc, so
+// Channel state is dense: a directed physical channel has the topology's
+// ChannelID ((nodeIndex*d + dim)*2 + dirBit on meshes and tori; delta-block
+// layout on full meshes) and a virtual channel id chan*VCs + vc, so
 // the per-cycle hot loops index flat arrays with ids precomputed per hop —
 // no map hashing, no per-cycle clearing (channel occupancy uses a cycle
 // stamp). Memory is O(N d VCs), fine for the mesh sizes a flit-level
@@ -95,6 +96,7 @@ type vcKey struct {
 type Network struct {
 	cfg    Config
 	m      *mesh.Mesh
+	topo   mesh.Topology
 	faults *mesh.FaultSet
 	msgs   []*Message
 
@@ -137,11 +139,11 @@ func NewNetwork(f *mesh.FaultSet, cfg Config, msgs []*Message) (*Network, error)
 	if cfg.MaxCycles < 1 {
 		cfg.MaxCycles = 1_000_000
 	}
-	d := f.Mesh().Dims()
-	numChans := int(f.Mesh().Nodes()) * d * 2
+	numChans := f.Topology().NumChannels()
 	n := &Network{
 		cfg:       cfg,
 		m:         f.Mesh(),
+		topo:      f.Topology(),
 		faults:    f,
 		msgs:      msgs,
 		vcOwner:   make([]int, numChans*cfg.VirtualChannels),
@@ -228,13 +230,11 @@ func (n *Network) removeWorm(m *Message) int {
 	return dropped
 }
 
-// chanID returns the dense id of a directed physical channel.
+// chanID returns the dense id of a directed physical channel (the
+// topology's ChannelID; on meshes this is (Index(From)*d + Dim)*2 + dirBit,
+// unchanged from the pre-Topology layout).
 func (n *Network) chanID(l mesh.Link) int {
-	dirBit := 0
-	if l.Dir > 0 {
-		dirBit = 1
-	}
-	return (int(n.m.Index(l.From))*n.m.Dims()+l.Dim)*2 + dirBit
+	return n.topo.ChannelID(l)
 }
 
 // Reset rewinds the network and every message to the pre-Run state, so the

@@ -37,8 +37,14 @@ import (
 
 // Core topology types.
 type (
-	// Mesh is a d-dimensional mesh or torus topology.
+	// Mesh is a d-dimensional mesh, torus, or hypercube grid.
 	Mesh = mesh.Mesh
+	// Topology abstracts a network family (mesh, torus, hypercube, full
+	// mesh) behind neighbor enumeration, channel indexing, canonical base
+	// paths, and a serialization tag.
+	Topology = mesh.Topology
+	// FullMesh is the complete network K_N (every pair directly linked).
+	FullMesh = mesh.FullMesh
 	// Coord is a node position.
 	Coord = mesh.Coord
 	// Link is a directed link between neighboring nodes.
@@ -94,8 +100,23 @@ func NewTorus(widths ...int) (*Mesh, error) { return mesh.NewTorus(widths...) }
 // NewCube returns M_d(n), all widths equal (a hypercube when n = 2).
 func NewCube(d, n int) (*Mesh, error) { return mesh.NewCube(d, n) }
 
+// NewHypercube returns the binary hypercube Q_d (widths all 2, serialized
+// under the "hypercube" tag).
+func NewHypercube(d int) (*Mesh, error) { return mesh.NewHypercube(d) }
+
+// NewFullMesh returns the complete network K_n.
+func NewFullMesh(n int) (*FullMesh, error) { return mesh.NewFullMesh(n) }
+
+// TopologyNames lists the topology serialization tags ("mesh", "torus",
+// "hypercube", "fullmesh") in CLI-flag order.
+func TopologyNames() []string { return mesh.TopologyNames() }
+
 // NewFaultSet returns an empty fault set for m.
 func NewFaultSet(m *Mesh) *FaultSet { return mesh.NewFaultSet(m) }
+
+// NewFaultSetOn returns an empty fault set living on any topology; link
+// validation follows the topology's LinkHead.
+func NewFaultSetOn(t Topology) *FaultSet { return mesh.NewFaultSetOn(t) }
 
 // RandomNodeFaults draws count distinct random node faults.
 func RandomNodeFaults(m *Mesh, count int, rng *rand.Rand) *FaultSet {
@@ -184,6 +205,13 @@ func VerifyLambSet(f *FaultSet, orders MultiOrder, lambs []Coord) error {
 // unless they fail outright).
 func NewReconfigurer(m *Mesh, orders MultiOrder, keepLambs bool) (*Reconfigurer, error) {
 	return core.NewReconfigurer(m, orders, keepLambs)
+}
+
+// NewGenericReconfigurer is the reconfiguration loop over the generic
+// (TorusLamb) solve: it accepts tori, at O(k N^2) per generation instead of
+// the rectangular pipeline's fault-polynomial cost.
+func NewGenericReconfigurer(m *Mesh, orders MultiOrder, keepLambs bool) (*Reconfigurer, error) {
+	return core.NewGenericReconfigurer(m, orders, keepLambs)
 }
 
 // WriteFaults serializes a fault set in the line-oriented lambmesh fault
